@@ -1,0 +1,67 @@
+// Command snipfig regenerates the data behind any figure of the paper.
+//
+// Usage:
+//
+//	snipfig -list
+//	snipfig -fig fig5
+//	snipfig -fig fig7 -seed 7 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rushprobe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "snipfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("snipfig", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "", "experiment ID to run (see -list)")
+		format = fs.String("format", "text", "output format: text or csv")
+		seed   = fs.Uint64("seed", 1, "random seed for simulation-based figures")
+		list   = fs.Bool("list", false, "list available experiments")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range rushprobe.ExperimentIDs() {
+			desc, err := rushprobe.ExperimentDescription(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %s\n", id, desc)
+		}
+		return nil
+	}
+	if *fig == "" {
+		return fmt.Errorf("missing -fig (or use -list); known: %v", rushprobe.ExperimentIDs())
+	}
+	tables, err := rushprobe.RunExperiment(*fig, *seed)
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(t.CSV())
+		case "text":
+			fmt.Print(t.Text())
+		default:
+			return fmt.Errorf("unknown format %q (text or csv)", *format)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	for _, format := range []string{"text", "csv"} {
+		if err := run([]string{"-fig", "fig4", "-format", format}); err != nil {
+			t.Errorf("fig4 %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no figure", args: nil},
+		{name: "unknown figure", args: []string{"-fig", "fig99"}},
+		{name: "bad format", args: []string{"-fig", "fig4", "-format", "xml"}},
+		{name: "bad flag", args: []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+}
+
+func TestRunHighTarget(t *testing.T) {
+	if err := run([]string{"-target", "56", "-budget-frac", "0.01"}); err != nil {
+		t.Fatalf("high target: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad flag", args: []string{"-bogus"}},
+		{name: "negative target", args: []string{"-target", "-5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

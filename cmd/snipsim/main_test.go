@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunShortSimulation(t *testing.T) {
+	args := []string{"-mechanism", "rh", "-target", "16", "-epochs", "2", "-seed", "3", "-per-epoch"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAllMechanisms(t *testing.T) {
+	for _, m := range []string{"at", "opt", "rh", "adaptive"} {
+		if err := run([]string{"-mechanism", m, "-epochs", "1"}); err != nil {
+			t.Errorf("mechanism %s: %v", m, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown mechanism", args: []string{"-mechanism", "nope"}},
+		{name: "bad flag", args: []string{"-bogus"}},
+		{name: "bad epochs", args: []string{"-mechanism", "rh", "-epochs", "0"}},
+		{name: "bad loss", args: []string{"-mechanism", "rh", "-loss", "1.5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunDemand(t *testing.T) {
+	if err := run([]string{"-demand"}); err != nil {
+		t.Fatalf("-demand: %v", err)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	if err := run([]string{"-days", "1", "-seed", "2"}); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	if err := run([]string{"-days", "2", "-stats"}); err != nil {
+		t.Fatalf("-stats: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad flag", args: []string{"-bogus"}},
+		{name: "zero days", args: []string{"-days", "0"}},
+		{name: "negative days", args: []string{"-days", "-3"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,342 @@
+// Package contact generates synthetic contact arrival processes.
+//
+// A contact is the event of a mobile node passing within radio range of
+// the sensor node (paper §II). The generator draws inter-arrival times
+// and contact lengths from per-slot distributions (the slot determines
+// which distribution applies — this is how rush hours change the arrival
+// frequency), yielding a deterministic, reproducible contact trace for a
+// given RNG stream.
+//
+// The package also provides demand profiles — smooth "contacts per hour"
+// shapes like the bimodal commuter curve of the paper's Figure 3 — from
+// which scenarios with arbitrary unevenness can be constructed.
+package contact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+)
+
+// Contact is one encounter between the mobile node and the sensor node.
+type Contact struct {
+	// Start is when the mobile node enters radio range.
+	Start simtime.Instant
+	// Length is how long it stays in range (Tcontact).
+	Length simtime.Duration
+}
+
+// End returns the instant the mobile node leaves radio range.
+func (c Contact) End() simtime.Instant { return c.Start.Add(c.Length) }
+
+// Generator produces the contact arrival process of a scenario.
+// It is a pull-based iterator: Next returns contacts in start order.
+type Generator struct {
+	clock     *simtime.Clock
+	slots     []scenario.Slot
+	src       *rng.Stream
+	cursor    simtime.Instant
+	shift     ShiftFunc
+	groupProb float64
+	pending   []Contact // queued companions awaiting emission
+	lookahead *Contact  // drawn primary not yet emitted
+}
+
+// ShiftFunc maps an instant to a slot-index offset, letting experiments
+// move the rush hours over time (seasonal drift, §VII.B). The returned
+// offset is added to the nominal slot index modulo the slot count.
+type ShiftFunc func(at simtime.Instant) int
+
+// NewGenerator returns a Generator over the scenario's slots drawing
+// from src. It returns an error when the scenario is invalid.
+func NewGenerator(sc *scenario.Scenario, src *rng.Stream) (*Generator, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("contact: nil rng stream")
+	}
+	clk, err := sc.Clock()
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{clock: clk, slots: sc.Slots, src: src, groupProb: sc.GroupProb}, nil
+}
+
+// SetShift installs a slot-shift function (nil disables shifting).
+func (g *Generator) SetShift(f ShiftFunc) { g.shift = f }
+
+// slotAt returns the effective slot for an instant, honoring the shift.
+func (g *Generator) slotAt(at simtime.Instant) scenario.Slot {
+	i := g.clock.SlotIndex(at)
+	if g.shift != nil {
+		n := len(g.slots)
+		i = ((i+g.shift(at))%n + n) % n
+	}
+	return g.slots[i]
+}
+
+// Next returns contacts in nondecreasing start order: the primary
+// arrival stream merged with any group companions. The inter-arrival
+// time is drawn from the slot distribution in force at the previous
+// arrival, matching the paper's simulation ("Tinterval follows a normal
+// distribution" whose mean switches between 300 s and 1800 s with the
+// slot). When the process walks through empty slots (no Interval), the
+// cursor skips to the next non-empty slot boundary.
+//
+// The second return value is false when no contact could be produced
+// (a scenario with no contacts at all).
+func (g *Generator) Next() (Contact, bool) {
+	if g.lookahead == nil {
+		if c, ok := g.drawPrimary(); ok {
+			g.lookahead = &c
+		}
+	}
+	// Emit whichever comes first: the queued companion or the buffered
+	// primary. Companions trail their primary by a fraction of a contact
+	// length, so they almost always go out immediately after it.
+	if len(g.pending) > 0 && (g.lookahead == nil || !g.pending[0].Start.After(g.lookahead.Start)) {
+		c := g.pending[0]
+		g.pending = g.pending[1:]
+		return c, true
+	}
+	if g.lookahead != nil {
+		c := *g.lookahead
+		g.lookahead = nil
+		return c, true
+	}
+	return Contact{}, false
+}
+
+// drawPrimary advances the primary arrival process by one contact,
+// possibly queueing a group companion.
+func (g *Generator) drawPrimary() (Contact, bool) {
+	const maxEmptyHops = 1 << 16
+	for hop := 0; hop < maxEmptyHops; hop++ {
+		slot := g.slotAt(g.cursor)
+		if slot.Interval == nil {
+			// Jump to the next slot boundary and retry.
+			next := g.clock.NextSlotStart(g.cursor)
+			if !g.anyContacts() {
+				return Contact{}, false
+			}
+			g.cursor = next
+			continue
+		}
+		gap := slot.Interval.Sample(g.src)
+		if gap < 0 {
+			gap = 0
+		}
+		start := g.cursor.Add(simtime.Duration(gap))
+		// The arrival belongs to the slot it lands in; if it crossed into
+		// a different slot whose frequency differs, re-draw from the
+		// boundary so that each slot's arrival rate matches its own
+		// distribution (otherwise a long off-peak gap would swallow the
+		// start of a rush hour).
+		bound := g.clock.NextSlotStart(g.cursor)
+		if start.After(bound) && !sameRate(slot, g.slotAt(bound)) {
+			g.cursor = bound
+			continue
+		}
+		lenSlot := g.slotAt(start)
+		if lenSlot.Length == nil {
+			lenSlot = slot
+		}
+		length := lenSlot.Length.Sample(g.src)
+		if length <= 0 {
+			length = 1e-9
+		}
+		// The next inter-arrival is measured from this arrival. Contacts
+		// may overlap in principle; the simulator serializes them.
+		g.cursor = start
+		primary := Contact{Start: start, Length: simtime.Duration(length)}
+		if g.groupProb > 0 && g.src.Bool(g.groupProb) {
+			// A companion mobile node enters range moments later with
+			// its own dwell time (§II assumption removal).
+			jitter := simtime.Duration(0.2 * g.src.Float64() * length)
+			compLen := lenSlot.Length.Sample(g.src)
+			if compLen <= 0 {
+				compLen = length
+			}
+			g.pending = append(g.pending, Contact{
+				Start:  start.Add(jitter),
+				Length: simtime.Duration(compLen),
+			})
+		}
+		return primary, true
+	}
+	return Contact{}, false
+}
+
+func sameRate(a, b scenario.Slot) bool {
+	am, bm := 0.0, 0.0
+	if a.Interval != nil {
+		am = a.Interval.Mean()
+	}
+	if b.Interval != nil {
+		bm = b.Interval.Mean()
+	}
+	return am == bm
+}
+
+func (g *Generator) anyContacts() bool {
+	for _, s := range g.slots {
+		if s.Interval != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// GenerateUntil returns all contacts starting before the horizon.
+func (g *Generator) GenerateUntil(horizon simtime.Instant) []Contact {
+	var out []Contact
+	for {
+		c, ok := g.Next()
+		if !ok || !c.Start.Before(horizon) {
+			return out
+		}
+		out = append(out, c)
+	}
+}
+
+// DemandProfile is a smooth daily "arrival intensity" curve used to build
+// scenarios with realistic unevenness, mirroring the travel-demand shape
+// of the paper's Figure 3 (bimodal commuter peaks). Intensity returns a
+// non-negative relative weight for a time of day in hours [0, 24).
+type DemandProfile interface {
+	Intensity(hourOfDay float64) float64
+	String() string
+}
+
+// BimodalCommute is a two-Gaussian-peak commuter profile over a base
+// level: morning and evening rush peaks atop constant background demand.
+type BimodalCommute struct {
+	// MorningPeak and EveningPeak are the peak centers in hours.
+	MorningPeak, EveningPeak float64
+	// PeakWidth is the Gaussian sigma of each peak in hours.
+	PeakWidth float64
+	// PeakGain is the ratio of peak intensity to the base level.
+	PeakGain float64
+}
+
+var _ DemandProfile = BimodalCommute{}
+
+// DefaultCommute returns peaks at 07:48 and 17:24 (the dominant pattern
+// in the Figure 3 source data), one-hour sigma, 6x gain.
+func DefaultCommute() BimodalCommute {
+	return BimodalCommute{MorningPeak: 7.8, EveningPeak: 17.4, PeakWidth: 1.0, PeakGain: 6}
+}
+
+// Intensity returns the relative demand at the given hour of day.
+func (b BimodalCommute) Intensity(hourOfDay float64) float64 {
+	h := math.Mod(hourOfDay, 24)
+	if h < 0 {
+		h += 24
+	}
+	peak := func(center float64) float64 {
+		// Wrap-around distance on the 24h circle.
+		d := math.Abs(h - center)
+		if d > 12 {
+			d = 24 - d
+		}
+		return math.Exp(-d * d / (2 * b.PeakWidth * b.PeakWidth))
+	}
+	return 1 + b.PeakGain*(peak(b.MorningPeak)+peak(b.EveningPeak))
+}
+
+func (b BimodalCommute) String() string {
+	return fmt.Sprintf("bimodal(am=%.1fh, pm=%.1fh, sigma=%.1fh, gain=%.1fx)", b.MorningPeak, b.EveningPeak, b.PeakWidth, b.PeakGain)
+}
+
+// HourlyShares integrates the profile into n equal bins over the day and
+// normalizes them to fractions summing to 1 — the same presentation as
+// the paper's Figure 3 (percent of daily demand per interval).
+func HourlyShares(p DemandProfile, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("contact: need positive bin count, got %d", n)
+	}
+	shares := make([]float64, n)
+	total := 0.0
+	binHours := 24.0 / float64(n)
+	const sub = 16 // sub-samples per bin
+	for i := range shares {
+		s := 0.0
+		for j := 0; j < sub; j++ {
+			h := (float64(i) + (float64(j)+0.5)/sub) * binHours
+			s += p.Intensity(h)
+		}
+		shares[i] = s
+		total += s
+	}
+	if total <= 0 {
+		return nil, errors.New("contact: profile has zero total intensity")
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	return shares, nil
+}
+
+// ScenarioFromProfile builds a scenario whose per-slot contact frequency
+// follows the demand profile: the day's expected contact count is
+// distributed over the slots proportionally to the profile, and the top
+// rushFraction of slots by share are marked as rush hours.
+func ScenarioFromProfile(p DemandProfile, contactsPerDay float64, length float64, rushFraction float64) (*scenario.Scenario, error) {
+	if contactsPerDay <= 0 || length <= 0 {
+		return nil, fmt.Errorf("contact: need positive contactsPerDay and length, got %g, %g", contactsPerDay, length)
+	}
+	if rushFraction < 0 || rushFraction > 1 {
+		return nil, fmt.Errorf("contact: rushFraction %g out of [0, 1]", rushFraction)
+	}
+	const n = 24
+	shares, err := HourlyShares(p, n)
+	if err != nil {
+		return nil, err
+	}
+	sc := scenario.Roadside() // reuse radio defaults, then overwrite slots
+	sc.Name = "profile:" + p.String()
+	rushCut := rushThreshold(shares, rushFraction)
+	for i := range sc.Slots {
+		perSlot := shares[i] * contactsPerDay
+		if perSlot <= 0 {
+			sc.Slots[i] = scenario.Slot{}
+			continue
+		}
+		meanInterval := 3600.0 / perSlot
+		sc.Slots[i] = scenario.Slot{
+			Interval: dist.NormalTenth(meanInterval),
+			Length:   dist.NormalTenth(length),
+			RushHour: shares[i] >= rushCut && rushFraction > 0,
+		}
+	}
+	return sc, nil
+}
+
+// rushThreshold returns the share value at the (1-fraction) quantile so
+// that roughly fraction of the slots are marked rush-hour.
+func rushThreshold(shares []float64, fraction float64) float64 {
+	if fraction <= 0 {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), shares...)
+	// Insertion sort: n = 24.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	k := int(math.Ceil(fraction * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[len(sorted)-k]
+}

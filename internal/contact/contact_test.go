@@ -1,0 +1,357 @@
+package contact
+
+import (
+	"math"
+	"testing"
+
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	sc := scenario.Roadside()
+	if _, err := NewGenerator(sc, nil); err == nil {
+		t.Error("nil stream should error")
+	}
+	bad := scenario.Roadside()
+	bad.Epoch = 0
+	if _, err := NewGenerator(bad, rng.New(1)); err == nil {
+		t.Error("invalid scenario should error")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	sc := scenario.Roadside()
+	g1, err := NewGenerator(sc, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(sc, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g1.GenerateUntil(simtime.Instant(simtime.Day))
+	b := g2.GenerateUntil(simtime.Instant(simtime.Day))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("contact %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorOrdering(t *testing.T) {
+	sc := scenario.Roadside()
+	g, err := NewGenerator(sc, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := g.GenerateUntil(simtime.Instant(7 * simtime.Day))
+	for i := 1; i < len(contacts); i++ {
+		if contacts[i].Start.Before(contacts[i-1].Start) {
+			t.Fatalf("contacts out of order at %d", i)
+		}
+	}
+	for _, c := range contacts {
+		if c.Length <= 0 {
+			t.Fatalf("non-positive contact length %v", c.Length)
+		}
+	}
+}
+
+func TestGeneratorDailyCounts(t *testing.T) {
+	// Roadside: expect ~88 contacts/day (48 rush + 40 off-peak); average
+	// over 50 days to tame variance.
+	sc := scenario.Roadside()
+	g, err := NewGenerator(sc, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const days = 50
+	contacts := g.GenerateUntil(simtime.Instant(days * simtime.Day))
+	perDay := float64(len(contacts)) / days
+	if math.Abs(perDay-88) > 4 {
+		t.Errorf("contacts per day = %.1f, want ~88", perDay)
+	}
+}
+
+func TestGeneratorRushHourDensity(t *testing.T) {
+	sc := scenario.Roadside()
+	clk, err := sc.Clock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(sc, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const days = 30
+	rush, other := 0, 0
+	for _, c := range g.GenerateUntil(simtime.Instant(days * simtime.Day)) {
+		if sc.Slots[clk.SlotIndex(c.Start)].RushHour {
+			rush++
+		} else {
+			other++
+		}
+	}
+	rushPerDay := float64(rush) / days
+	otherPerDay := float64(other) / days
+	if math.Abs(rushPerDay-48) > 4 {
+		t.Errorf("rush contacts/day = %.1f, want ~48", rushPerDay)
+	}
+	if math.Abs(otherPerDay-40) > 4 {
+		t.Errorf("off-peak contacts/day = %.1f, want ~40", otherPerDay)
+	}
+}
+
+func TestGeneratorContactLengths(t *testing.T) {
+	sc := scenario.Roadside()
+	g, err := NewGenerator(sc, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w float64
+	contacts := g.GenerateUntil(simtime.Instant(20 * simtime.Day))
+	for _, c := range contacts {
+		w += c.Length.Seconds()
+	}
+	mean := w / float64(len(contacts))
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("mean contact length = %.3f, want ~2", mean)
+	}
+}
+
+func TestGeneratorEmptyScenario(t *testing.T) {
+	sc := scenario.Roadside()
+	for i := range sc.Slots {
+		sc.Slots[i] = scenario.Slot{}
+	}
+	g, err := NewGenerator(sc, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("scenario with no contacts should produce none")
+	}
+}
+
+func TestGeneratorSparseSlots(t *testing.T) {
+	// Only slot 12 has contacts; the generator must skip the empty slots
+	// and still produce arrivals inside slot 12.
+	sc := scenario.Roadside()
+	for i := range sc.Slots {
+		if i != 12 {
+			sc.Slots[i] = scenario.Slot{}
+		}
+	}
+	clk, err := sc.Clock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(sc, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := g.GenerateUntil(simtime.Instant(10 * simtime.Day))
+	if len(contacts) == 0 {
+		t.Fatal("no contacts produced")
+	}
+	for _, c := range contacts {
+		if got := clk.SlotIndex(c.Start); got != 12 {
+			t.Fatalf("contact at slot %d, want only slot 12", got)
+		}
+	}
+}
+
+func TestGeneratorShift(t *testing.T) {
+	// Shift the pattern by +2 slots: contacts that nominally belong to
+	// slot 7 now occur when the wall clock reads slot 5 (the generator
+	// looks up slots[index+shift]).
+	sc := scenario.Roadside()
+	for i := range sc.Slots {
+		if i != 7 {
+			sc.Slots[i] = scenario.Slot{}
+		}
+	}
+	clk, err := sc.Clock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(sc, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetShift(func(simtime.Instant) int { return 2 })
+	contacts := g.GenerateUntil(simtime.Instant(5 * simtime.Day))
+	if len(contacts) == 0 {
+		t.Fatal("no contacts produced with shift")
+	}
+	for _, c := range contacts {
+		if got := clk.SlotIndex(c.Start); got != 5 {
+			t.Fatalf("shifted contact at slot %d, want slot 5", got)
+		}
+	}
+}
+
+func TestBimodalCommuteShape(t *testing.T) {
+	p := DefaultCommute()
+	am := p.Intensity(7.8)
+	noon := p.Intensity(12.5)
+	night := p.Intensity(2)
+	pm := p.Intensity(17.4)
+	if am <= 2*noon {
+		t.Errorf("morning peak %v should dominate midday %v", am, noon)
+	}
+	if pm <= 2*noon {
+		t.Errorf("evening peak %v should dominate midday %v", pm, noon)
+	}
+	if night >= noon*2 {
+		t.Errorf("night %v should not exceed midday much %v", night, noon)
+	}
+	// Wrap-around continuity at midnight.
+	if math.Abs(p.Intensity(0)-p.Intensity(24)) > 1e-12 {
+		t.Error("intensity must be periodic in 24h")
+	}
+	if math.Abs(p.Intensity(-1)-p.Intensity(23)) > 1e-12 {
+		t.Error("negative hours must wrap")
+	}
+}
+
+func TestHourlyShares(t *testing.T) {
+	p := DefaultCommute()
+	shares, err := HourlyShares(p, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range shares {
+		if s < 0 {
+			t.Fatal("negative share")
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", sum)
+	}
+	// Peak bins dominate.
+	if shares[7] < shares[12]*2 {
+		t.Errorf("share[7]=%v should dominate share[12]=%v", shares[7], shares[12])
+	}
+	if _, err := HourlyShares(p, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}
+
+func TestScenarioFromProfile(t *testing.T) {
+	p := DefaultCommute()
+	sc, err := ScenarioFromProfile(p, 200, 2.0, 4.0/24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("profile scenario invalid: %v", err)
+	}
+	// Expected contacts/day should be ~200.
+	if got := sc.TotalCapacity() / 2.0; math.Abs(got-200) > 1 {
+		t.Errorf("expected contacts/day = %.1f, want ~200", got)
+	}
+	rush := 0
+	for _, s := range sc.Slots {
+		if s.RushHour {
+			rush++
+		}
+	}
+	if rush < 3 || rush > 6 {
+		t.Errorf("rush slots = %d, want around 4", rush)
+	}
+	// Rush slots must be near the peaks.
+	for i, s := range sc.Slots {
+		if s.RushHour && !(i >= 6 && i <= 9 || i >= 16 && i <= 19) {
+			t.Errorf("slot %d marked rush, far from peaks", i)
+		}
+	}
+}
+
+func TestScenarioFromProfileValidation(t *testing.T) {
+	p := DefaultCommute()
+	if _, err := ScenarioFromProfile(p, 0, 2, 0.2); err == nil {
+		t.Error("zero contacts should error")
+	}
+	if _, err := ScenarioFromProfile(p, 100, 0, 0.2); err == nil {
+		t.Error("zero length should error")
+	}
+	if _, err := ScenarioFromProfile(p, 100, 2, 1.5); err == nil {
+		t.Error("rushFraction > 1 should error")
+	}
+}
+
+func TestContactEnd(t *testing.T) {
+	c := Contact{Start: 100, Length: 2.5}
+	if got := c.End(); got != 102.5 {
+		t.Errorf("End = %v, want 102.5", got)
+	}
+}
+
+func TestGroupArrivalsStayOrdered(t *testing.T) {
+	sc := scenario.Roadside()
+	sc.GroupProb = 0.5
+	g, err := NewGenerator(sc, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := g.GenerateUntil(simtime.Instant(7 * simtime.Day))
+	if len(contacts) == 0 {
+		t.Fatal("no contacts")
+	}
+	for i := 1; i < len(contacts); i++ {
+		if contacts[i].Start.Before(contacts[i-1].Start) {
+			t.Fatalf("contacts out of order at %d: %v before %v",
+				i, contacts[i].Start, contacts[i-1].Start)
+		}
+	}
+}
+
+func TestGroupArrivalsIncreaseCount(t *testing.T) {
+	base := scenario.Roadside()
+	grouped := scenario.Roadside()
+	grouped.GroupProb = 0.5
+	g1, err := NewGenerator(base, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(grouped, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const days = 20
+	n1 := len(g1.GenerateUntil(simtime.Instant(days * simtime.Day)))
+	n2 := len(g2.GenerateUntil(simtime.Instant(days * simtime.Day)))
+	// Half the primaries bring a companion: expect ~1.5x the contacts.
+	ratio := float64(n2) / float64(n1)
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("group arrivals ratio = %v, want ~1.5", ratio)
+	}
+}
+
+func TestGroupCompanionOverlapsPrimary(t *testing.T) {
+	sc := scenario.Roadside()
+	sc.GroupProb = 0.999 // practically every contact brings a companion
+	g, err := NewGenerator(sc, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := g.GenerateUntil(simtime.Instant(simtime.Day))
+	overlaps := 0
+	for i := 1; i < len(contacts); i += 2 {
+		if contacts[i].Start.Before(contacts[i-1].End()) {
+			overlaps++
+		}
+	}
+	if overlaps < len(contacts)/3 {
+		t.Errorf("companions should overlap their primaries; got %d overlaps of %d pairs",
+			overlaps, len(contacts)/2)
+	}
+}

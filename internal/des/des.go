@@ -1,0 +1,241 @@
+// Package des implements a deterministic discrete-event simulator.
+//
+// It replaces COOJA as the evaluation substrate: the paper's metrics are
+// pure functions of event timing (radio wake-ups, beacons, contact
+// start/end), which a discrete-event engine reproduces exactly without
+// instruction-level emulation.
+//
+// Events scheduled for the same instant fire in schedule order (a strictly
+// increasing sequence number breaks ties), so runs are bit-reproducible.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"rushprobe/internal/simtime"
+)
+
+// Handler is a callback invoked when an event fires.
+type Handler func(now simtime.Instant)
+
+// Event is a scheduled callback. Its fields are managed by the Simulator.
+type Event struct {
+	at       simtime.Instant
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	canceled bool
+	name     string
+	fn       Handler
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() simtime.Instant { return e.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return // heap.Push is only called by this package with *Event
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrPastEvent is returned when scheduling an event before the current
+// simulation time.
+var ErrPastEvent = errors.New("des: cannot schedule event in the past")
+
+// Simulator owns the event queue and the simulated clock.
+//
+// The zero value is ready to use and starts at time 0.
+type Simulator struct {
+	now       simtime.Instant
+	queue     eventQueue
+	seq       uint64
+	processed uint64
+	running   bool
+}
+
+// New returns a Simulator starting at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() simtime.Instant { return s.now }
+
+// Pending returns the number of queued (non-canceled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the number of events fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// ScheduleAt schedules fn at the absolute instant at. The name labels the
+// event in diagnostics. It returns the event handle, or an error when at
+// is in the past.
+func (s *Simulator) ScheduleAt(at simtime.Instant, name string, fn Handler) (*Event, error) {
+	if at.Before(s.now) {
+		return nil, fmt.Errorf("%w: at %v, now %v (%s)", ErrPastEvent, at, s.now, name)
+	}
+	ev := &Event{at: at, seq: s.seq, name: name, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev, nil
+}
+
+// ScheduleIn schedules fn after delay d from now. Negative delays are an
+// error.
+func (s *Simulator) ScheduleIn(d simtime.Duration, name string, fn Handler) (*Event, error) {
+	return s.ScheduleAt(s.now.Add(d), name, fn)
+}
+
+// Cancel marks the event so it will not fire. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.canceled = true
+}
+
+// Step fires the next event. It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		top, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if top.canceled {
+			continue
+		}
+		s.now = top.at
+		s.processed++
+		top.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event is strictly after the horizon. The clock is left at the horizon
+// (or at the last event if the queue drained first, whichever is later
+// never exceeding the horizon).
+func (s *Simulator) RunUntil(horizon simtime.Instant) {
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		// Peek.
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at.After(horizon) {
+			break
+		}
+		s.Step()
+	}
+	if horizon.After(s.now) {
+		s.now = horizon
+	}
+}
+
+// Run fires events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// Ticker repeatedly invokes a handler with a fixed period, starting at a
+// given instant. It reschedules itself after each tick until stopped. The
+// handler may stop the ticker from within a tick.
+type Ticker struct {
+	sim    *Simulator
+	period simtime.Duration
+	name   string
+	fn     Handler
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, first firing at start. It returns
+// an error when the period is not positive or start is in the past.
+func (s *Simulator) NewTicker(start simtime.Instant, period simtime.Duration, name string, fn Handler) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("des: ticker %q needs positive period, got %v", name, period)
+	}
+	t := &Ticker{sim: s, period: period, name: name, fn: fn}
+	ev, err := s.ScheduleAt(start, name, t.tick)
+	if err != nil {
+		return nil, err
+	}
+	t.ev = ev
+	return t, nil
+}
+
+func (t *Ticker) tick(now simtime.Instant) {
+	if t.stop {
+		return
+	}
+	t.fn(now)
+	if t.stop {
+		return
+	}
+	ev, err := t.sim.ScheduleIn(t.period, t.name, t.tick)
+	if err != nil {
+		// Periods are positive, so rescheduling from the current instant
+		// cannot land in the past; treat a failure as a stop.
+		t.stop = true
+		return
+	}
+	t.ev = ev
+}
+
+// Stop prevents any further ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+	}
+}

@@ -1,0 +1,228 @@
+package des
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rushprobe/internal/simtime"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	mustSchedule(t, s, 30, "c", func(simtime.Instant) { order = append(order, 3) })
+	mustSchedule(t, s, 10, "a", func(simtime.Instant) { order = append(order, 1) })
+	mustSchedule(t, s, 20, "b", func(simtime.Instant) { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("final time = %v, want 30", s.Now())
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		mustSchedule(t, s, 5, name, func(simtime.Instant) { order = append(order, name) })
+	}
+	s.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePastFails(t *testing.T) {
+	s := New()
+	mustSchedule(t, s, 10, "advance", func(simtime.Instant) {})
+	s.Run()
+	if _, err := s.ScheduleAt(5, "late", func(simtime.Instant) {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("scheduling in the past: err = %v, want ErrPastEvent", err)
+	}
+	if _, err := s.ScheduleIn(-1, "negative", func(simtime.Instant) {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("negative delay: err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestScheduleAtCurrentInstantAllowed(t *testing.T) {
+	s := New()
+	fired := false
+	mustSchedule(t, s, 10, "outer", func(now simtime.Instant) {
+		if _, err := s.ScheduleAt(now, "inner", func(simtime.Instant) { fired = true }); err != nil {
+			t.Errorf("scheduling at the current instant should work: %v", err)
+		}
+	})
+	s.Run()
+	if !fired {
+		t.Error("same-instant event did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := mustSchedule(t, s, 10, "x", func(simtime.Instant) { fired = true })
+	s.Cancel(ev)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() should report true")
+	}
+	s.Cancel(nil) // must not panic
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var fired []simtime.Instant
+	for _, at := range []simtime.Instant{5, 15, 25} {
+		at := at
+		mustSchedule(t, s, at, "e", func(now simtime.Instant) { fired = append(fired, now) })
+	}
+	s.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if s.Now() != 20 {
+		t.Errorf("clock = %v, want horizon 20", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(30)
+	if len(fired) != 3 {
+		t.Errorf("remaining event did not fire after extending horizon")
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(100)
+	if s.Now() != 100 {
+		t.Errorf("idle RunUntil should advance clock to horizon, got %v", s.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	var order []string
+	mustSchedule(t, s, 10, "outer", func(now simtime.Instant) {
+		order = append(order, "outer")
+		if _, err := s.ScheduleIn(5, "inner", func(simtime.Instant) {
+			order = append(order, "inner")
+		}); err != nil {
+			t.Errorf("ScheduleIn during run: %v", err)
+		}
+	})
+	s.Run()
+	if len(order) != 2 || order[1] != "inner" {
+		t.Errorf("order = %v, want [outer inner]", order)
+	}
+	if s.Now() != 15 {
+		t.Errorf("final time = %v, want 15", s.Now())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		mustSchedule(t, s, simtime.Instant(i), "e", func(simtime.Instant) {})
+	}
+	s.Run()
+	if s.Processed() != 5 {
+		t.Errorf("processed = %d, want 5", s.Processed())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []simtime.Instant
+	tk, err := s.NewTicker(10, 5, "tick", func(now simtime.Instant) {
+		ticks = append(ticks, now)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(27)
+	if len(ticks) != 4 { // 10, 15, 20, 25
+		t.Fatalf("ticks = %v, want 4 ticks", ticks)
+	}
+	tk.Stop()
+	s.RunUntil(100)
+	if len(ticks) != 4 {
+		t.Errorf("ticker fired after Stop: %v", ticks)
+	}
+}
+
+func TestTickerStopFromWithinTick(t *testing.T) {
+	s := New()
+	count := 0
+	var tk *Ticker
+	tk, err := s.NewTicker(0, 1, "self-stop", func(simtime.Instant) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100)
+	if count != 3 {
+		t.Errorf("ticker fired %d times, want exactly 3", count)
+	}
+}
+
+func TestTickerValidation(t *testing.T) {
+	s := New()
+	if _, err := s.NewTicker(0, 0, "bad", func(simtime.Instant) {}); err == nil {
+		t.Error("zero period should error")
+	}
+	if _, err := s.NewTicker(0, -5, "bad", func(simtime.Instant) {}); err == nil {
+		t.Error("negative period should error")
+	}
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing
+// time order.
+func TestFireOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var fired []simtime.Instant
+		for _, r := range raw {
+			at := simtime.Instant(r)
+			if _, err := s.ScheduleAt(at, "e", func(now simtime.Instant) {
+				fired = append(fired, now)
+			}); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulator, at simtime.Instant, name string, fn Handler) *Event {
+	t.Helper()
+	ev, err := s.ScheduleAt(at, name, fn)
+	if err != nil {
+		t.Fatalf("ScheduleAt(%v, %q): %v", at, name, err)
+	}
+	return ev
+}

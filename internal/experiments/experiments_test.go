@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"ext-learn", "ext-shift", "ext-drh", "ext-exp", "ext-loss",
+		"ext-mip", "ext-latency", "ext-rl", "ext-lifetime", "ext-mobility",
+		"ext-contention",
+	}
+	for _, id := range want {
+		e, ok := reg[id]
+		if !ok {
+			t.Errorf("registry missing %q", id)
+			continue
+		}
+		if e.ID != id || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", id, e)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(reg), len(want))
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+	if len(ids) != len(Registry()) {
+		t.Error("IDs length mismatch")
+	}
+}
+
+func TestFig3Shares(t *testing.T) {
+	tables, err := Registry()["fig3"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 24 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	total := 0.0
+	for _, row := range tab.Rows {
+		total += row[1]
+	}
+	if math.Abs(total-100) > 0.01 {
+		t.Errorf("shares sum to %v%%, want 100%%", total)
+	}
+	// Rush-hour bins dominate midday.
+	if tab.Rows[7][1] < 2*tab.Rows[12][1] {
+		t.Errorf("hour 7 share %v should dominate hour 12 share %v", tab.Rows[7][1], tab.Rows[12][1])
+	}
+}
+
+func TestFig4Surface(t *testing.T) {
+	tables, err := Registry()["fig4"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 100 {
+		t.Fatalf("got %d rows, want 10x10", len(tab.Rows))
+	}
+	// Max gain at smallest fraction + largest ratio ~ 10.3.
+	maxGain := 0.0
+	for _, row := range tab.Rows {
+		if row[2] > maxGain {
+			maxGain = row[2]
+		}
+	}
+	if maxGain < 10 || maxGain > 11 {
+		t.Errorf("max gain = %v, want ~10.3", maxGain)
+	}
+}
+
+func TestFig5AnalysisTables(t *testing.T) {
+	tables, err := Registry()["fig5"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3 sub-plots", len(tables))
+	}
+	zeta := tables[0]
+	if len(zeta.Rows) != 6 {
+		t.Fatalf("zeta rows = %d, want 6 targets", len(zeta.Rows))
+	}
+	// Columns: target, AT, OPT, RH.
+	if len(zeta.Columns) != 4 {
+		t.Fatalf("columns = %v", zeta.Columns)
+	}
+	// AT flat at 8.8 for every target; RH equals OPT.
+	for _, row := range zeta.Rows {
+		if math.Abs(row[1]-8.8) > 0.05 {
+			t.Errorf("AT zeta = %v at target %v, want 8.8", row[1], row[0])
+		}
+		if math.Abs(row[2]-row[3]) > 0.2 {
+			t.Errorf("OPT %v and RH %v should match at target %v", row[2], row[3], row[0])
+		}
+	}
+	rho := tables[2]
+	for _, row := range rho.Rows {
+		if math.Abs(row[1]-9.82) > 0.05 {
+			t.Errorf("AT rho = %v, want ~9.82", row[1])
+		}
+		if math.Abs(row[3]-3.0) > 0.05 {
+			t.Errorf("RH rho = %v, want 3", row[3])
+		}
+	}
+}
+
+func TestFig6AnalysisTables(t *testing.T) {
+	tables, err := Registry()["fig6"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeta, phi := tables[0], tables[1]
+	// RH ceiling: meets targets up to 48, stuck at 48 for 56.
+	last := zeta.Rows[len(zeta.Rows)-1]
+	if last[0] != 56 {
+		t.Fatalf("last target = %v", last[0])
+	}
+	if math.Abs(last[3]-48) > 0.1 {
+		t.Errorf("RH zeta at 56 = %v, want ceiling 48", last[3])
+	}
+	if math.Abs(last[2]-56) > 0.2 {
+		t.Errorf("OPT zeta at 56 = %v, want 56", last[2])
+	}
+	// AT's phi grows ~9.82 per unit of target.
+	for _, row := range phi.Rows {
+		if math.Abs(row[1]-9.818*row[0]) > 1 {
+			t.Errorf("AT phi = %v at target %v, want ~%v", row[1], row[0], 9.818*row[0])
+		}
+	}
+}
+
+func TestExtDrhFlatBelowKnee(t *testing.T) {
+	tables, err := Registry()["ext-drh"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	var atQuarter, atKnee, atDouble float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case 0.25:
+			atQuarter = row[2]
+		case 1.0:
+			atKnee = row[2]
+		case 2.0:
+			atDouble = row[2]
+		}
+	}
+	if math.Abs(atQuarter-atKnee) > 1e-9 {
+		t.Errorf("rho below knee should be flat: %v vs %v", atQuarter, atKnee)
+	}
+	if atDouble <= atKnee {
+		t.Errorf("rho above knee should grow: %v vs %v", atDouble, atKnee)
+	}
+	// "not very sensitive ... when drh is slightly larger" — less than
+	// 2x at double the knee.
+	if atDouble > 2*atKnee {
+		t.Errorf("rho at 2x knee = %v, should be < 2x knee value %v", atDouble, atKnee)
+	}
+}
+
+func TestExtExponentialSlopeChange(t *testing.T) {
+	tables, err := Registry()["ext-exp"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// Secant slopes of the exponential curve well below vs well above
+	// the knee.
+	get := func(duty float64) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == duty {
+				return row[2]
+			}
+		}
+		t.Fatalf("duty %v missing", duty)
+		return 0
+	}
+	below := (get(0.005) - get(0.0025)) / 0.0025
+	above := (get(0.08) - get(0.04)) / 0.04
+	if below < 3*above {
+		t.Errorf("slope below knee (%v) should far exceed above (%v)", below, above)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]float64{{1, 2.5}, {3, math.Inf(1)}},
+		Notes:   []string{"hello"},
+	}
+	text := tab.Text()
+	if !strings.Contains(text, "# demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(text, "long_column") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(text, "inf") {
+		t.Error("missing inf cell")
+	}
+	if !strings.Contains(text, "note: hello") {
+		t.Error("missing note")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"x", "y"},
+		Rows:    [][]float64{{1, 2}, {3, 4}},
+	}
+	csv := tab.CSV()
+	want := "x,y\n1,2\n3,4\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

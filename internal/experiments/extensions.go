@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"math"
+
+	"rushprobe/internal/analysis"
+	"rushprobe/internal/baseline"
+	"rushprobe/internal/core"
+	"rushprobe/internal/mobility"
+	"rushprobe/internal/model"
+	"rushprobe/internal/radio"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/sim"
+	"rushprobe/internal/simtime"
+	"rushprobe/internal/trace"
+)
+
+// extendedExperiments returns the second wave of extension experiments:
+// claims from §III (SNIP vs mobile-initiated probing), the intro's
+// delay-tolerance trade-off, the related-work RL comparison (§VIII),
+// battery-lifetime projection, and the physical-mobility cross-check.
+func extendedExperiments() []*Experiment {
+	return []*Experiment{
+		{
+			ID:          "ext-mip",
+			Description: "SNIP vs mobile node-initiated probing: capacity gain vs duty cycle (§III)",
+			Run:         runExtMIP,
+		},
+		{
+			ID:          "ext-latency",
+			Description: "Data delivery latency of each mechanism (the delay-tolerance cost, §I)",
+			Run:         runExtLatency,
+		},
+		{
+			ID:          "ext-rl",
+			Description: "Reinforcement-learning bandit baseline vs SNIP-RH (§VIII related work)",
+			Run:         runExtRL,
+		},
+		{
+			ID:          "ext-lifetime",
+			Description: "Projected node lifetime on 2xAA under each mechanism (TelosB power model)",
+			Run:         runExtLifetime,
+		},
+		{
+			ID:          "ext-mobility",
+			Description: "Physical road model (R, speeds) reproduces the abstract contact process (Fig. 2)",
+			Run:         runExtMobility,
+		},
+		{
+			ID:          "ext-contention",
+			Description: "Removing the single-mobile-node assumption: group arrivals under contention policies (§II)",
+			Run:         runExtContention,
+		},
+	}
+}
+
+// runExtContention exercises §II's assumption removal: a fraction of
+// contacts arrive as groups of two mobile nodes. Without collision
+// avoidance the overlapping acks waste beacons; picking one responder
+// (randomly or by remaining dwell) recovers the capacity — and the
+// resolve policy slightly beats random by preferring the longer dwell.
+func runExtContention(seed uint64) ([]*Table, error) {
+	t := &Table{
+		Title:   "ext-contention: SNIP-RH probed capacity with group arrivals (target 32s, budget Tepoch/100)",
+		Columns: []string{"group_prob", "resolve_zeta_s", "random_zeta_s", "collide_zeta_s"},
+		Notes: []string{
+			"§II: the one-mobile-node assumption 'can be easily removed' by contention resolution;",
+			"'none' shows what happens without it (colliding acks waste the beacon)",
+		},
+	}
+	policies := []scenario.ContentionPolicy{
+		scenario.ContentionResolve,
+		scenario.ContentionRandom,
+		scenario.ContentionNone,
+	}
+	for _, groupProb := range []float64{0, 0.25, 0.5} {
+		row := []float64{groupProb}
+		for _, policy := range policies {
+			sc := scenario.Roadside(
+				scenario.WithZetaTarget(32),
+				scenario.WithBudgetFraction(1.0/100),
+				scenario.WithGroupArrivals(groupProb, policy),
+			)
+			factory, err := sim.SchedulerFactory(sc, sim.MechanismRH)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Scenario:     sc,
+				NewScheduler: factory,
+				Epochs:       7,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Summary.MeanZeta)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+// runExtMIP tabulates the §III claim: sensor node-initiated probing
+// beats mobile node-initiated probing by 2-10x at duty cycles below 1%.
+func runExtMIP(uint64) ([]*Table, error) {
+	mip := model.DefaultMIP()
+	t := &Table{
+		Title:   "ext-mip: probed fraction Upsilon and SNIP/MIP gain vs duty cycle (2s contacts)",
+		Columns: []string{"duty", "upsilon_snip", "upsilon_mip", "gain"},
+		Notes: []string{
+			"§III: with a duty-cycle lower than 1%, SNIP increases probed capacity by a factor of 2-10",
+			"MIP baseline: mobile beacons every 100ms (1ms on-air); sensor only listens",
+		},
+	}
+	for _, d := range []float64{0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		snip := mip.Radio.Upsilon(d, 2.0)
+		mipU := mip.Upsilon(d, 2.0)
+		t.Rows = append(t.Rows, []float64{d, snip, mipU, mip.Gain(d, 2.0)})
+	}
+	return []*Table{t}, nil
+}
+
+// runExtLatency measures the delivery-latency cost of each mechanism:
+// RH batches data until rush hours, AT delivers opportunistically all
+// day. The paper's intro frames opportunistic collection as
+// delay-tolerant; this quantifies what RH's energy savings cost in
+// freshness.
+func runExtLatency(seed uint64) ([]*Table, error) {
+	t := &Table{
+		Title:   "ext-latency: mean data delivery latency (sensing -> upload) per mechanism, target 24s",
+		Columns: []string{"budget_frac_inv", "SNIP-AT_latency_s", "SNIP-OPT_latency_s", "SNIP-RH_latency_s"},
+		Notes: []string{
+			"counterintuitive: RH's latency beats AT's — AT sized 'just enough' serves at utilization ~1",
+			"(critically loaded queue, backlog balloons), while RH's rush-hour slack drains the buffer twice a day",
+		},
+	}
+	for _, inv := range []float64{1000, 100} {
+		row := []float64{inv}
+		sc := scenario.Roadside(
+			scenario.WithZetaTarget(24),
+			scenario.WithBudgetFraction(1/inv),
+		)
+		for _, m := range []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH} {
+			factory, err := sim.SchedulerFactory(sc, m)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Scenario:     sc,
+				NewScheduler: factory,
+				Epochs:       SimEpochs,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Summary.MeanLatency)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+// runExtRL pits the per-slot epsilon-greedy bandit against SNIP-RH on
+// the road-side scenario, echoing the paper's argument that RL learns
+// too slowly from the sparse feedback a low duty cycle yields (§VIII).
+func runExtRL(seed uint64) ([]*Table, error) {
+	sc := scenario.Roadside(
+		scenario.WithZetaTarget(24),
+		scenario.WithBudgetFraction(1.0/100),
+	)
+	const epochs = 28 // give the learner four weeks
+	knee := sc.Radio.Knee(sc.MeanContactLength())
+	banditFactory := func() (core.Scheduler, error) {
+		return baseline.NewBandit(baseline.BanditConfig{
+			Slots:       len(sc.Slots),
+			Arms:        baseline.DefaultArms(knee),
+			Epsilon:     0.1,
+			EnergyPrice: 1.0 / 3, // worth probing below SNIP-RH's rho
+			SlotSeconds: sc.SlotLen().Seconds(),
+			Alpha:       0.3,
+			Seed:        seed,
+		})
+	}
+	rhFactory, err := sim.SchedulerFactory(sc, sim.MechanismRH)
+	if err != nil {
+		return nil, err
+	}
+	bandit, err := sim.Run(sim.Config{Scenario: sc, NewScheduler: banditFactory, Epochs: epochs, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rh, err := sim.Run(sim.Config{Scenario: sc, NewScheduler: rhFactory, Epochs: epochs, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "ext-rl: per-epoch probed capacity, epsilon-greedy bandit vs SNIP-RH (target 24s)",
+		Columns: []string{"epoch", "bandit_zeta_s", "bandit_phi_s", "rh_zeta_s", "rh_phi_s"},
+		Notes: []string{
+			"the bandit explores for weeks what the rush-hour prior gives SNIP-RH on day one (§VIII)",
+		},
+	}
+	for e := 0; e < epochs; e++ {
+		t.Rows = append(t.Rows, []float64{
+			float64(e),
+			bandit.Epochs[e].Zeta, bandit.Epochs[e].Phi,
+			rh.Epochs[e].Zeta, rh.Epochs[e].Phi,
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// runExtLifetime projects node lifetime on two AA cells from each
+// mechanism's analytical steady-state energy at target 24 s.
+func runExtLifetime(uint64) ([]*Table, error) {
+	sc := scenario.Roadside(
+		scenario.WithFixedLengths(),
+		scenario.WithZetaTarget(24),
+		scenario.WithBudgetFraction(1.0/100),
+	)
+	at, err := analysis.AT(sc)
+	if err != nil {
+		return nil, err
+	}
+	op, err := analysis.OPT(sc)
+	if err != nil {
+		return nil, err
+	}
+	rh, err := analysis.RH(sc)
+	if err != nil {
+		return nil, err
+	}
+	pm := radio.TelosB()
+	bat := radio.TwoAABattery()
+	t := &Table{
+		Title:   "ext-lifetime: projected lifetime on 2xAA (TelosB radio), target 24s/day",
+		Columns: []string{"mechanism_idx", "phi_s_per_day", "upload_s_per_day", "lifetime_years"},
+		Notes: []string{
+			"mechanism_idx: 1=SNIP-AT 2=SNIP-OPT 3=SNIP-RH",
+			"radio energy only (sensing/CPU excluded) — isolates the probing cost the paper optimizes",
+		},
+	}
+	upload := 24.0 // all mechanisms upload the same 24s of contact time
+	for i, r := range []analysis.MechanismResult{at, op, rh} {
+		_, span, err := radio.Lifetime(pm, bat, radio.LifetimeInput{
+			Epoch:         sc.Epoch,
+			ProbingOnTime: r.Phi,
+			UploadOnTime:  upload,
+		})
+		if err != nil {
+			return nil, err
+		}
+		years := span.Seconds() / (365.25 * 86400)
+		t.Rows = append(t.Rows, []float64{float64(i + 1), r.Phi, upload, years})
+	}
+	return []*Table{t}, nil
+}
+
+// runExtMobility generates contacts from the physical road model
+// (R = 5 m, speeds ~ N(5, 0.5) m/s) and compares the per-slot statistics
+// against the abstract road-side scenario, validating the Fig. 2
+// abstraction this repo's scenarios rely on.
+func runExtMobility(seed uint64) ([]*Table, error) {
+	road := mobility.Road{Range: 5, ClosestApproach: 0}
+	pattern := mobility.CommuterPattern(300, 1800, 5)
+	gen, err := mobility.NewGenerator(road, pattern, rng.Derive(seed, "mobility"))
+	if err != nil {
+		return nil, err
+	}
+	const days = 14
+	contacts := gen.GenerateUntil(simtime.Instant(days * simtime.Day))
+	clk, err := simtime.NewClock(simtime.Day, 24)
+	if err != nil {
+		return nil, err
+	}
+	sums := trace.Summarize(contacts, clk)
+	sc := scenario.Roadside()
+	procs := sc.SlotProcesses()
+	t := &Table{
+		Title:   "ext-mobility: physical road model vs abstract scenario, per-slot contacts/day",
+		Columns: []string{"slot", "physical_contacts_per_day", "model_contacts_per_day", "physical_mean_len_s"},
+		Notes: []string{
+			"physical: R=5m chord crossed at N(5, 0.5) m/s; model: the paper's interval distributions",
+		},
+	}
+	maxRelErr := 0.0
+	for i, s := range sums {
+		perDay := float64(s.Count) / days
+		want := procs[i].Freq * 3600
+		t.Rows = append(t.Rows, []float64{float64(i), perDay, want, s.MeanLength})
+		if want > 0 {
+			if rel := math.Abs(perDay-want) / want; rel > maxRelErr {
+				maxRelErr = rel
+			}
+		}
+	}
+	agg := trace.Aggregate(contacts)
+	t.Notes = append(t.Notes,
+		"overall mean contact length "+formatCell(agg.MeanLength)+"s (model: 2s; Jensen's inequality adds E[1/v] bias)")
+	_ = maxRelErr
+	return []*Table{t}, nil
+}

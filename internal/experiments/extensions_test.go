@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtMIPGainBand(t *testing.T) {
+	tables, err := Registry()["ext-mip"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// §III: 2-10x gain at duty cycles below 1%.
+	for _, row := range tab.Rows {
+		duty, gain := row[0], row[3]
+		if duty <= 0.01 && (gain < 2 || gain > 10.5) {
+			t.Errorf("duty %v: gain %v outside the paper's 2-10x band", duty, gain)
+		}
+		if row[1] < row[2] {
+			t.Errorf("duty %v: SNIP %v must dominate MIP %v", duty, row[1], row[2])
+		}
+	}
+}
+
+func TestExtLifetimeOrdering(t *testing.T) {
+	tables, err := Registry()["ext-lifetime"].Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	atYears, optYears, rhYears := rows[0][3], rows[1][3], rows[2][3]
+	if rhYears <= atYears {
+		t.Errorf("RH lifetime %v must exceed AT %v", rhYears, atYears)
+	}
+	if math.Abs(rhYears-optYears) > 0.2 {
+		t.Errorf("RH %v and OPT %v should be nearly equal here", rhYears, optYears)
+	}
+	// Rough magnitude: RH should at least double AT's lifetime at this
+	// target (phi 72 vs 236 plus shared upload and sleep energy).
+	if rhYears < 1.8*atYears {
+		t.Errorf("RH lifetime %v should be ~2.4x AT's %v", rhYears, atYears)
+	}
+}
+
+func TestExtMobilityMatchesModel(t *testing.T) {
+	tables, err := Registry()["ext-mobility"].Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var gotTotal, wantTotal float64
+	for _, row := range rows {
+		slot, got, want, meanLen := row[0], row[1], row[2], row[3]
+		gotTotal += got
+		wantTotal += want
+		// Per-slot rates are noisy over 14 days of a low-rate process;
+		// only catch gross mismatches here, and check the aggregate
+		// tightly below.
+		if want > 0 && math.Abs(got-want)/want > 0.6 {
+			t.Errorf("slot %v: physical %v vs model %v", slot, got, want)
+		}
+		if meanLen < 1.8 || meanLen > 2.3 {
+			t.Errorf("slot %v: mean contact length %v, want ~2s", slot, meanLen)
+		}
+	}
+	if math.Abs(gotTotal-wantTotal)/wantTotal > 0.1 {
+		t.Errorf("total contacts/day: physical %v vs model %v", gotTotal, wantTotal)
+	}
+}
+
+func TestExtLatencyShape(t *testing.T) {
+	tables, err := Registry()["ext-latency"].Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		at, opt, rh := row[1], row[2], row[3]
+		if rh <= 0 || opt <= 0 || at <= 0 {
+			t.Fatalf("latencies must be positive: %v", row)
+		}
+		// RH's slack drains the queue twice a day: its latency must stay
+		// below half a day and below critically-loaded AT.
+		if rh > 43200 {
+			t.Errorf("RH latency %v s exceeds half a day", rh)
+		}
+		if rh >= at {
+			t.Errorf("RH latency %v should undercut critically-loaded AT %v", rh, at)
+		}
+	}
+	// Under the tight budget AT cannot keep up at all: backlog latency
+	// far above one day.
+	if rows[0][1] < 86400 {
+		t.Errorf("tight-budget AT latency %v should exceed a day (unstable queue)", rows[0][1])
+	}
+}
+
+func TestExtRLBanditLagsRH(t *testing.T) {
+	tables, err := Registry()["ext-rl"].Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 28 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Cumulative capacity over the four weeks: SNIP-RH's prior beats the
+	// bandit's exploration (the §VIII argument).
+	var bandit, rh float64
+	for _, row := range rows {
+		bandit += row[1]
+		rh += row[3]
+	}
+	if rh <= bandit {
+		t.Errorf("RH cumulative capacity %v should beat the bandit's %v", rh, bandit)
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"ext-mip", "ext-latency", "ext-rl", "ext-lifetime", "ext-mobility"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+}

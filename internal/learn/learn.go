@@ -1,0 +1,297 @@
+// Package learn holds the online estimators a sensor node runs to drive
+// SNIP-RH: the EWMA of the mean contact length (which sets drh, §VI.C),
+// the EWMA of the per-contact upload amount (which sets the data
+// threshold, §VI.B condition 2), and the rush-hour learner of §VII.B
+// (rank slots by observed contact capacity during a low-duty SNIP-AT
+// phase, then mark the top slots).
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"rushprobe/internal/stats"
+)
+
+// DefaultAlpha is the EWMA weight for new samples — "a small weight is
+// assigned to the new sample" (§VI.B, §VI.C).
+const DefaultAlpha = 0.1
+
+// ContactLength tracks the learned mean contact length T̄contact.
+//
+// Until the first contact is probed the estimator reports the prior,
+// letting a freshly deployed node pick a sane initial duty cycle.
+type ContactLength struct {
+	ewma  *stats.EWMA
+	prior float64
+}
+
+// NewContactLength returns an estimator seeded with the given prior
+// (seconds). A non-positive prior falls back to 1 s.
+func NewContactLength(prior float64) *ContactLength {
+	if prior <= 0 {
+		prior = 1
+	}
+	return &ContactLength{ewma: stats.NewEWMA(DefaultAlpha), prior: prior}
+}
+
+// Observe records the measured length of a probed contact. Because a
+// probed contact only reveals Tprobed (the tail of the contact after the
+// beacon), callers pass the best available estimate; SNIP can reconstruct
+// the full length because the mobile node reports when it entered range
+// in its beacon reply in most deployments, and otherwise the observed
+// tail is a conservative underestimate. Non-positive samples are ignored.
+func (c *ContactLength) Observe(length float64) {
+	if length <= 0 {
+		return
+	}
+	c.ewma.Observe(length)
+}
+
+// Mean returns the learned mean contact length, or the prior before any
+// observation.
+func (c *ContactLength) Mean() float64 {
+	if !c.ewma.Seeded() {
+		return c.prior
+	}
+	return c.ewma.Value()
+}
+
+// Samples returns how many contacts have been observed.
+func (c *ContactLength) Samples() int { return c.ewma.Count() }
+
+// UploadAmount tracks the learned mean bytes uploaded per probed contact,
+// which SNIP-RH uses as the "enough data buffered" threshold (condition 2
+// of §VI.B).
+type UploadAmount struct {
+	ewma  *stats.EWMA
+	prior float64
+}
+
+// NewUploadAmount returns an estimator seeded with the given prior
+// (bytes). A non-positive prior falls back to 1 byte, making the
+// threshold permissive until real uploads are seen.
+func NewUploadAmount(prior float64) *UploadAmount {
+	if prior <= 0 {
+		prior = 1
+	}
+	return &UploadAmount{ewma: stats.NewEWMA(DefaultAlpha), prior: prior}
+}
+
+// Observe records the bytes uploaded in one probed contact. Negative
+// samples are ignored; zero is a legitimate observation (a contact probed
+// with an empty buffer).
+func (u *UploadAmount) Observe(bytes float64) {
+	if bytes < 0 {
+		return
+	}
+	u.ewma.Observe(bytes)
+}
+
+// Threshold returns the current "enough data" threshold in bytes.
+func (u *UploadAmount) Threshold() float64 {
+	if !u.ewma.Seeded() {
+		return u.prior
+	}
+	return u.ewma.Value()
+}
+
+// RushHourLearner estimates each slot's contact capacity from observed
+// (probed) contacts and derives a rush-hour mask. It implements the
+// §VII.B bootstrap: run SNIP-AT with a very small duty cycle for a few
+// epochs, rank the slots by accumulated capacity, and mark the top K.
+// Because only the *order* of slots matters, the learner is robust to
+// the small number of samples a low duty cycle yields.
+//
+// Per-slot capacity is tracked as an EWMA over epochs so the learner can
+// also follow seasonal drift when left running (adaptive SNIP-RH).
+type RushHourLearner struct {
+	slots     int
+	rushSlots int
+	alpha     float64
+	epochCap  []float64     // capacity observed in the current epoch
+	perEpoch  []*stats.EWMA // smoothed capacity per slot across epochs
+	epochs    int
+}
+
+// NewRushHourLearner returns a learner for the given slot count that
+// will mark rushSlots slots as rush hours. It returns an error when the
+// parameters are inconsistent.
+func NewRushHourLearner(slots, rushSlots int) (*RushHourLearner, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("learn: slots must be positive, got %d", slots)
+	}
+	if rushSlots <= 0 || rushSlots > slots {
+		return nil, fmt.Errorf("learn: rushSlots must be in [1, %d], got %d", slots, rushSlots)
+	}
+	l := &RushHourLearner{
+		slots:     slots,
+		rushSlots: rushSlots,
+		alpha:     0.3, // faster than DefaultAlpha: epochs are scarce
+		epochCap:  make([]float64, slots),
+		perEpoch:  make([]*stats.EWMA, slots),
+	}
+	for i := range l.perEpoch {
+		l.perEpoch[i] = stats.NewEWMA(l.alpha)
+	}
+	return l, nil
+}
+
+// ObserveContact records a probed contact of the given capacity (seconds)
+// in the given slot of the current epoch.
+func (l *RushHourLearner) ObserveContact(slot int, capacity float64) {
+	if slot < 0 || slot >= l.slots || capacity <= 0 {
+		return
+	}
+	l.epochCap[slot] += capacity
+}
+
+// EndEpoch folds the current epoch's observations into the per-slot
+// averages and resets the epoch accumulator.
+func (l *RushHourLearner) EndEpoch() {
+	for i, c := range l.epochCap {
+		l.perEpoch[i].Observe(c)
+		l.epochCap[i] = 0
+	}
+	l.epochs++
+}
+
+// Epochs returns how many epochs have been folded in.
+func (l *RushHourLearner) Epochs() int { return l.epochs }
+
+// Capacity returns the learned per-slot capacity estimates.
+func (l *RushHourLearner) Capacity() []float64 {
+	out := make([]float64, l.slots)
+	for i, e := range l.perEpoch {
+		out[i] = e.Value()
+	}
+	return out
+}
+
+// Mask returns the current rush-hour mask: the top rushSlots slots by
+// learned capacity (ties broken by lower slot index). Before any epoch
+// has completed the mask is all false — the caller should keep running
+// its bootstrap phase.
+func (l *RushHourLearner) Mask() []bool {
+	mask := make([]bool, l.slots)
+	if l.epochs == 0 {
+		return mask
+	}
+	caps := l.Capacity()
+	idx := make([]int, l.slots)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection of the top-K with deterministic tie-breaks; N is tiny.
+	for k := 0; k < l.rushSlots; k++ {
+		best := -1
+		for _, i := range idx {
+			if mask[i] {
+				continue
+			}
+			if best == -1 || caps[i] > caps[best] || (caps[i] == caps[best] && i < best) {
+				best = i
+			}
+		}
+		if best == -1 || caps[best] <= 0 {
+			break
+		}
+		mask[best] = true
+	}
+	return mask
+}
+
+// Agreement returns the fraction of slots on which the learned mask
+// matches the reference mask — the learning-quality metric used by the
+// ext-learn experiment.
+func Agreement(learned, reference []bool) float64 {
+	if len(learned) == 0 || len(learned) != len(reference) {
+		return 0
+	}
+	same := 0
+	for i := range learned {
+		if learned[i] == reference[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(learned))
+}
+
+// DriftTracker watches the learned mask across epochs and reports when
+// the rush hours appear to have moved (seasonal shift, §VII.B). It
+// compares the current mask against the mask in force and reports a
+// shift when they disagree on more than tolerance slots for `patience`
+// consecutive epochs.
+type DriftTracker struct {
+	tolerance int
+	patience  int
+	active    []bool
+	badRuns   int
+	shifts    int
+}
+
+// NewDriftTracker returns a tracker that adopts a new mask after it has
+// disagreed with the active one on more than tolerance slots for
+// patience consecutive epochs.
+func NewDriftTracker(initial []bool, tolerance, patience int) (*DriftTracker, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("learn: drift tracker needs a non-empty initial mask")
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("learn: tolerance must be non-negative, got %d", tolerance)
+	}
+	if patience <= 0 {
+		return nil, fmt.Errorf("learn: patience must be positive, got %d", patience)
+	}
+	active := make([]bool, len(initial))
+	copy(active, initial)
+	return &DriftTracker{tolerance: tolerance, patience: patience, active: active}, nil
+}
+
+// Active returns the mask currently in force (a copy).
+func (d *DriftTracker) Active() []bool {
+	out := make([]bool, len(d.active))
+	copy(out, d.active)
+	return out
+}
+
+// Shifts returns how many times the tracker has adopted a new mask.
+func (d *DriftTracker) Shifts() int { return d.shifts }
+
+// ObserveEpoch feeds the latest learned mask; it returns true when the
+// tracker adopts it as the new active mask.
+func (d *DriftTracker) ObserveEpoch(learned []bool) bool {
+	if len(learned) != len(d.active) {
+		return false
+	}
+	diff := 0
+	for i := range learned {
+		if learned[i] != d.active[i] {
+			diff++
+		}
+	}
+	if diff <= d.tolerance {
+		d.badRuns = 0
+		return false
+	}
+	d.badRuns++
+	if d.badRuns < d.patience {
+		return false
+	}
+	copy(d.active, learned)
+	d.badRuns = 0
+	d.shifts++
+	return true
+}
+
+// RelativeError returns |est-actual|/actual, or +Inf when actual is 0 —
+// a helper shared by the learning experiments.
+func RelativeError(est, actual float64) float64 {
+	if actual == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-actual) / math.Abs(actual)
+}

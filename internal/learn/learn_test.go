@@ -1,0 +1,331 @@
+package learn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestContactLengthPrior(t *testing.T) {
+	c := NewContactLength(2.0)
+	if got := c.Mean(); got != 2.0 {
+		t.Errorf("unseeded mean = %v, want prior 2", got)
+	}
+	c.Observe(4.0)
+	if got := c.Mean(); got != 4.0 {
+		t.Errorf("first sample should replace prior, got %v", got)
+	}
+	if c.Samples() != 1 {
+		t.Errorf("samples = %d", c.Samples())
+	}
+}
+
+func TestContactLengthBadPrior(t *testing.T) {
+	c := NewContactLength(-5)
+	if got := c.Mean(); got != 1 {
+		t.Errorf("bad prior should fall back to 1, got %v", got)
+	}
+}
+
+func TestContactLengthIgnoresBadSamples(t *testing.T) {
+	c := NewContactLength(2)
+	c.Observe(0)
+	c.Observe(-1)
+	if c.Samples() != 0 {
+		t.Error("non-positive samples must be ignored")
+	}
+}
+
+func TestContactLengthConverges(t *testing.T) {
+	c := NewContactLength(10)
+	for i := 0; i < 200; i++ {
+		c.Observe(2.0)
+	}
+	if math.Abs(c.Mean()-2.0) > 1e-6 {
+		t.Errorf("mean = %v, want 2", c.Mean())
+	}
+}
+
+func TestUploadAmountThreshold(t *testing.T) {
+	u := NewUploadAmount(500)
+	if got := u.Threshold(); got != 500 {
+		t.Errorf("unseeded threshold = %v, want 500", got)
+	}
+	u.Observe(1000)
+	if got := u.Threshold(); got != 1000 {
+		t.Errorf("threshold = %v, want 1000", got)
+	}
+	u.Observe(-5) // ignored
+	if got := u.Threshold(); got != 1000 {
+		t.Errorf("negative sample should be ignored, got %v", got)
+	}
+	u.Observe(0) // legitimate
+	want := 1000 + DefaultAlpha*(0-1000)
+	if got := u.Threshold(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("threshold after zero = %v, want %v", got, want)
+	}
+}
+
+func TestUploadAmountBadPrior(t *testing.T) {
+	u := NewUploadAmount(0)
+	if got := u.Threshold(); got != 1 {
+		t.Errorf("bad prior should fall back to 1, got %v", got)
+	}
+}
+
+func TestRushHourLearnerValidation(t *testing.T) {
+	if _, err := NewRushHourLearner(0, 1); err == nil {
+		t.Error("zero slots should error")
+	}
+	if _, err := NewRushHourLearner(24, 0); err == nil {
+		t.Error("zero rush slots should error")
+	}
+	if _, err := NewRushHourLearner(24, 25); err == nil {
+		t.Error("rushSlots > slots should error")
+	}
+}
+
+func TestRushHourLearnerIdentifiesTopSlots(t *testing.T) {
+	l, err := NewRushHourLearner(24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask := l.Mask(); anyTrue(mask) {
+		t.Error("mask before any epoch should be empty")
+	}
+	// Three epochs of observations: slots 7, 8, 17, 18 dominate.
+	for e := 0; e < 3; e++ {
+		for slot := 0; slot < 24; slot++ {
+			capSeconds := 1.0
+			if slot == 7 || slot == 8 || slot == 17 || slot == 18 {
+				capSeconds = 6.0
+			}
+			l.ObserveContact(slot, capSeconds)
+		}
+		l.EndEpoch()
+	}
+	mask := l.Mask()
+	for slot := 0; slot < 24; slot++ {
+		wantRush := slot == 7 || slot == 8 || slot == 17 || slot == 18
+		if mask[slot] != wantRush {
+			t.Errorf("slot %d learned %v, want %v", slot, mask[slot], wantRush)
+		}
+	}
+	if l.Epochs() != 3 {
+		t.Errorf("epochs = %d", l.Epochs())
+	}
+}
+
+func TestRushHourLearnerNeedsOnlyOrder(t *testing.T) {
+	// Sparse, noisy observations: a single probed contact in each rush
+	// slot and none elsewhere is enough (the §VII.B argument).
+	l, err := NewRushHourLearner(24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []int{7, 8, 17, 18} {
+		l.ObserveContact(slot, 0.5)
+	}
+	l.EndEpoch()
+	mask := l.Mask()
+	for _, slot := range []int{7, 8, 17, 18} {
+		if !mask[slot] {
+			t.Errorf("slot %d should be marked after one sparse epoch", slot)
+		}
+	}
+	if countTrue(mask) != 4 {
+		t.Errorf("mask has %d slots, want 4", countTrue(mask))
+	}
+}
+
+func TestRushHourLearnerSkipsZeroCapacitySlots(t *testing.T) {
+	l, err := NewRushHourLearner(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveContact(2, 3.0)
+	l.EndEpoch()
+	mask := l.Mask()
+	if !mask[2] {
+		t.Error("observed slot should be marked")
+	}
+	// Only one slot has capacity; the learner must not pad with empties.
+	if countTrue(mask) != 1 {
+		t.Errorf("mask has %d marked slots, want 1", countTrue(mask))
+	}
+}
+
+func TestRushHourLearnerIgnoresBadObservations(t *testing.T) {
+	l, err := NewRushHourLearner(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveContact(-1, 5)
+	l.ObserveContact(4, 5)
+	l.ObserveContact(1, -2)
+	l.EndEpoch()
+	if anyTrue(l.Mask()) {
+		t.Error("invalid observations should not mark anything")
+	}
+}
+
+func TestRushHourLearnerTracksDrift(t *testing.T) {
+	l, err := NewRushHourLearner(24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First regime: slots 7, 8 dominate.
+	for e := 0; e < 5; e++ {
+		l.ObserveContact(7, 10)
+		l.ObserveContact(8, 10)
+		l.ObserveContact(12, 1)
+		l.EndEpoch()
+	}
+	mask := l.Mask()
+	if !mask[7] || !mask[8] {
+		t.Fatal("initial regime not learned")
+	}
+	// Shifted regime: slots 9, 10 dominate. With alpha=0.3 the EWMA
+	// crosses over within a handful of epochs.
+	for e := 0; e < 10; e++ {
+		l.ObserveContact(9, 10)
+		l.ObserveContact(10, 10)
+		l.ObserveContact(12, 1)
+		l.EndEpoch()
+	}
+	mask = l.Mask()
+	if !mask[9] || !mask[10] {
+		t.Errorf("shifted regime not learned: %v", mask)
+	}
+	if mask[7] || mask[8] {
+		t.Errorf("stale slots still marked: %v", mask)
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	a := []bool{true, false, true, false}
+	b := []bool{true, false, false, false}
+	if got := Agreement(a, b); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("agreement = %v, want 0.75", got)
+	}
+	if got := Agreement(a, a); got != 1 {
+		t.Errorf("self agreement = %v", got)
+	}
+	if got := Agreement(a, []bool{true}); got != 0 {
+		t.Errorf("mismatched lengths = %v, want 0", got)
+	}
+	if got := Agreement(nil, nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+}
+
+func TestDriftTrackerValidation(t *testing.T) {
+	if _, err := NewDriftTracker(nil, 0, 1); err == nil {
+		t.Error("empty mask should error")
+	}
+	if _, err := NewDriftTracker([]bool{true}, -1, 1); err == nil {
+		t.Error("negative tolerance should error")
+	}
+	if _, err := NewDriftTracker([]bool{true}, 0, 0); err == nil {
+		t.Error("zero patience should error")
+	}
+}
+
+func TestDriftTrackerAdoptsAfterPatience(t *testing.T) {
+	initial := []bool{true, true, false, false}
+	shifted := []bool{false, false, true, true}
+	d, err := NewDriftTracker(initial, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ObserveEpoch(shifted) {
+		t.Error("should not adopt on first disagreement")
+	}
+	if d.ObserveEpoch(shifted) {
+		t.Error("should not adopt on second disagreement")
+	}
+	if !d.ObserveEpoch(shifted) {
+		t.Error("should adopt on third consecutive disagreement")
+	}
+	if got := d.Active(); !equalMask(got, shifted) {
+		t.Errorf("active = %v, want %v", got, shifted)
+	}
+	if d.Shifts() != 1 {
+		t.Errorf("shifts = %d", d.Shifts())
+	}
+}
+
+func TestDriftTrackerResetsOnAgreement(t *testing.T) {
+	initial := []bool{true, false}
+	shifted := []bool{false, true}
+	d, err := NewDriftTracker(initial, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ObserveEpoch(shifted) // 1 bad epoch
+	d.ObserveEpoch(initial) // agreement resets the run
+	if d.ObserveEpoch(shifted) {
+		t.Error("run should have been reset; adoption too early")
+	}
+	if d.Shifts() != 0 {
+		t.Errorf("shifts = %d, want 0", d.Shifts())
+	}
+}
+
+func TestDriftTrackerTolerance(t *testing.T) {
+	initial := []bool{true, true, false, false}
+	oneOff := []bool{true, false, false, false}
+	d, err := NewDriftTracker(initial, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ObserveEpoch(oneOff) {
+		t.Error("within-tolerance disagreement must not trigger adoption")
+	}
+	// Mismatched length is ignored.
+	if d.ObserveEpoch([]bool{true}) {
+		t.Error("length mismatch must be ignored")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(2.2, 2.0); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v, want 0.1", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("0/0 = %v, want 0", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("x/0 = %v, want +Inf", got)
+	}
+}
+
+func anyTrue(mask []bool) bool {
+	for _, m := range mask {
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+func countTrue(mask []bool) int {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+func equalMask(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/simtime"
+)
+
+func road() Road { return Road{Range: 5, ClosestApproach: 0} }
+
+func TestRoadValidate(t *testing.T) {
+	if err := road().Validate(); err != nil {
+		t.Fatalf("valid road rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		r    Road
+	}{
+		{name: "zero range", r: Road{Range: 0}},
+		{name: "negative approach", r: Road{Range: 5, ClosestApproach: -1}},
+		{name: "road out of range", r: Road{Range: 5, ClosestApproach: 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.r.Validate(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestChordLength(t *testing.T) {
+	// Road through the center: chord = diameter.
+	if got := road().ChordLength(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("chord = %v, want 10", got)
+	}
+	// Offset road: 2*sqrt(25-9) = 8.
+	r := Road{Range: 5, ClosestApproach: 3}
+	if got := r.ChordLength(); math.Abs(got-8) > 1e-12 {
+		t.Errorf("chord = %v, want 8", got)
+	}
+	// Degenerate geometry yields no chord.
+	deg := Road{Range: 5, ClosestApproach: 6}
+	if got := deg.ChordLength(); got != 0 {
+		t.Errorf("out-of-range chord = %v, want 0", got)
+	}
+}
+
+func TestContactLengthMatchesPaperScenario(t *testing.T) {
+	// The paper's 2-second contacts correspond to a 10 m coverage chord
+	// crossed at 5 m/s (a cyclist past a kerbside node).
+	if got := road().ContactLength(5); math.Abs(got-2) > 1e-12 {
+		t.Errorf("contact length = %v, want 2", got)
+	}
+	if got := road().ContactLength(0); got != 0 {
+		t.Errorf("zero speed = %v, want 0", got)
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	p := CommuterPattern(300, 1800, 5)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("commuter pattern invalid: %v", err)
+	}
+	bad := p
+	bad.Epoch = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero epoch should error")
+	}
+	empty := Pattern{Epoch: simtime.Day}
+	if err := empty.Validate(); err == nil {
+		t.Error("no flows should error")
+	}
+	noSpeed := CommuterPattern(300, 1800, 5)
+	noSpeed.Flows[0].Speed = nil
+	if err := noSpeed.Validate(); err == nil {
+		t.Error("traffic without speed should error")
+	}
+}
+
+func TestCommuterPatternShape(t *testing.T) {
+	p := CommuterPattern(300, 1800, 5)
+	if len(p.Flows) != 24 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	for i, f := range p.Flows {
+		rush := (i >= 7 && i < 9) || (i >= 17 && i < 19)
+		if f.RushHour != rush {
+			t.Errorf("flow %d rush = %v, want %v", i, f.RushHour, rush)
+		}
+		wantInterval := 1800.0
+		if rush {
+			wantInterval = 300.0
+		}
+		if f.Interval.Mean() != wantInterval {
+			t.Errorf("flow %d interval = %v", i, f.Interval.Mean())
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	p := CommuterPattern(300, 1800, 5)
+	if _, err := NewGenerator(road(), p, nil); err == nil {
+		t.Error("nil stream should error")
+	}
+	if _, err := NewGenerator(Road{}, p, rng.New(1)); err == nil {
+		t.Error("bad road should error")
+	}
+	if _, err := NewGenerator(road(), Pattern{}, rng.New(1)); err == nil {
+		t.Error("bad pattern should error")
+	}
+}
+
+func TestGeneratorReproducesScenarioStatistics(t *testing.T) {
+	// The physical model with R=5m, v~N(5, 0.5) must reproduce the
+	// abstract road-side scenario: ~88 contacts/day with mean length
+	// ~2s (slightly above 2 because E[1/v] > 1/E[v]).
+	g, err := NewGenerator(road(), CommuterPattern(300, 1800, 5), rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const days = 30
+	contacts := g.GenerateUntil(simtime.Instant(days * simtime.Day))
+	perDay := float64(len(contacts)) / days
+	if math.Abs(perDay-88) > 5 {
+		t.Errorf("contacts/day = %v, want ~88", perDay)
+	}
+	var sum float64
+	for _, c := range contacts {
+		sum += c.Length.Seconds()
+	}
+	mean := sum / float64(len(contacts))
+	if mean < 1.95 || mean > 2.15 {
+		t.Errorf("mean contact length = %v, want ~2.02 (Jensen bump over 2)", mean)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p := CommuterPattern(300, 1800, 5)
+	g1, err := NewGenerator(road(), p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(road(), p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g1.GenerateUntil(simtime.Instant(simtime.Day))
+	b := g2.GenerateUntil(simtime.Instant(simtime.Day))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorEmptyPattern(t *testing.T) {
+	p := Pattern{Epoch: simtime.Day, Flows: make([]Flow, 24)}
+	g, err := NewGenerator(road(), p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("pattern without traffic should produce no contacts")
+	}
+}
+
+func TestMixedSpeedsGiveHeavyTail(t *testing.T) {
+	// Walkers (1.5 m/s) and cars (12 m/s) in one flow: contact lengths
+	// spread from ~0.8s (cars) to ~6.7s (walkers).
+	p := Pattern{
+		Epoch: simtime.Day,
+		Flows: []Flow{{
+			Interval: dist.Fixed{Value: 300},
+			Speed:    dist.Uniform{Lo: 1.5, Hi: 12},
+		}},
+	}
+	g, err := NewGenerator(road(), p, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := g.GenerateUntil(simtime.Instant(10 * simtime.Day))
+	qs := LengthQuantiles(contacts, []float64{0.05, 0.5, 0.95})
+	if qs[0] > 1.0 {
+		t.Errorf("p5 length = %v, want fast-car contacts below 1s", qs[0])
+	}
+	if qs[2] < 4.0 {
+		t.Errorf("p95 length = %v, want slow-walker contacts above 4s", qs[2])
+	}
+	if !(qs[0] < qs[1] && qs[1] < qs[2]) {
+		t.Errorf("quantiles not ordered: %v", qs)
+	}
+}
+
+func TestLengthQuantilesEdges(t *testing.T) {
+	if got := LengthQuantiles(nil, []float64{0.5}); got[0] != 0 {
+		t.Errorf("empty trace quantile = %v", got[0])
+	}
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mip() MIPConfig { return DefaultMIP() }
+
+func TestMIPValidate(t *testing.T) {
+	if err := mip().Validate(); err != nil {
+		t.Fatalf("default MIP invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*MIPConfig)
+	}{
+		{name: "bad radio", mutate: func(m *MIPConfig) { m.Radio.Ton = 0 }},
+		{name: "zero period", mutate: func(m *MIPConfig) { m.BeaconPeriod = 0 }},
+		{name: "negative duration", mutate: func(m *MIPConfig) { m.BeaconDuration = -1 }},
+		{name: "duration >= period", mutate: func(m *MIPConfig) { m.BeaconDuration = m.BeaconPeriod }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := mip()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestMIPCatchProbability(t *testing.T) {
+	m := mip()
+	// (20ms - 1ms) / 100ms = 0.19.
+	if got := m.CatchProbability(); math.Abs(got-0.19) > 1e-12 {
+		t.Errorf("catch probability = %v, want 0.19", got)
+	}
+	// On-period shorter than a beacon catches nothing.
+	m.Radio.Ton = 0.0005
+	if got := m.CatchProbability(); got != 0 {
+		t.Errorf("tiny Ton should catch nothing, got %v", got)
+	}
+	// Long on-period saturates at 1.
+	m.Radio.Ton = 1.0
+	if got := m.CatchProbability(); got != 1 {
+		t.Errorf("long Ton should always catch, got %v", got)
+	}
+}
+
+func TestMIPUpsilonLowDutyApproximation(t *testing.T) {
+	// At low duty (Tcycle >> Tcontact) at most one wake lands inside the
+	// contact, so Upsilon_MIP = p * Upsilon_SNIP.
+	m := mip()
+	d := 0.001 // Tcycle = 20s >> 2s
+	got := m.Upsilon(d, 2.0)
+	want := m.CatchProbability() * m.Radio.Upsilon(d, 2.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Upsilon = %v, want p*SNIP = %v", got, want)
+	}
+}
+
+func TestMIPGainInPaperBand(t *testing.T) {
+	// §III: "with a sensor node duty-cycle that is lower than 1%, the
+	// probed contact capacity can be increased by a factor of 2-10".
+	m := mip()
+	for _, d := range []float64{0.001, 0.005, 0.01} {
+		g := m.Gain(d, 2.0)
+		if g < 2 || g > 10.5 {
+			t.Errorf("d=%v: SNIP/MIP gain = %v, want within the paper's 2-10x band", d, g)
+		}
+	}
+}
+
+func TestMIPUpsilonEdgeCases(t *testing.T) {
+	m := mip()
+	if got := m.Upsilon(0, 2); got != 0 {
+		t.Errorf("zero duty: %v", got)
+	}
+	if got := m.Upsilon(0.5, 0); got != 0 {
+		t.Errorf("zero contact: %v", got)
+	}
+	if got := m.Upsilon(2.0, 2.0); got != m.Upsilon(1.0, 2.0) {
+		t.Error("duty above 1 should clamp to 1")
+	}
+	bad := m
+	bad.Radio.Ton = 0.0005 // smaller than the beacon
+	if got := bad.Upsilon(0.01, 2); got != 0 {
+		t.Errorf("uncatchable beacons should probe nothing: %v", got)
+	}
+}
+
+func TestMIPGainEdgeCases(t *testing.T) {
+	m := mip()
+	bad := m
+	bad.Radio.Ton = 0.0005
+	if g := bad.Gain(0.01, 2); !math.IsInf(g, 1) {
+		t.Errorf("SNIP works where MIP cannot: gain = %v, want +Inf", g)
+	}
+	if g := m.Gain(0, 2); g != 1 {
+		t.Errorf("both zero should give gain 1, got %v", g)
+	}
+}
+
+func TestMIPUpsilonMonotoneInDuty(t *testing.T) {
+	m := mip()
+	prev := -1.0
+	for _, d := range []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1} {
+		u := m.Upsilon(d, 2.0)
+		if u < prev-1e-9 {
+			t.Errorf("MIP Upsilon not monotone at d=%v", d)
+		}
+		prev = u
+	}
+}
+
+func TestMIPNeverBeatsSNIP(t *testing.T) {
+	// A sensor that must wait to *hear* a beacon can never discover a
+	// contact faster than one that transmits at wake-up: SNIP dominates
+	// at every duty cycle and contact length.
+	m := mip()
+	f := func(rawD, rawT uint16) bool {
+		d := float64(rawD%1000+1) / 1000
+		tc := 0.1 + float64(rawT%400)/10
+		return m.Upsilon(d, tc) <= m.Radio.Upsilon(d, tc)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIPHighDutyApproachesSNIP(t *testing.T) {
+	// With the radio nearly always on, the sensor hears a beacon within
+	// one beacon period; the gap to SNIP shrinks to the beacon-period
+	// discovery delay.
+	m := mip()
+	snip := m.Radio.Upsilon(1, 2.0)
+	mipU := m.Upsilon(1, 2.0)
+	if snip-mipU > 0.05 {
+		t.Errorf("at d=1 MIP (%v) should be close to SNIP (%v)", mipU, snip)
+	}
+}
+
+func TestMIPUpsilonBounded(t *testing.T) {
+	m := mip()
+	f := func(rawD, rawT uint16) bool {
+		d := float64(rawD) / 65535
+		tc := float64(rawT) / 100
+		u := m.Upsilon(d, tc)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

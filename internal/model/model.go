@@ -1,0 +1,266 @@
+// Package model implements the closed-form SNIP contact-probing model
+// (the paper's Equation 1, inherited from the authors' SNIP paper [10]).
+//
+// Under sensor-node-initiated probing with an always-listening mobile
+// node, a contact of length Tcontact that begins uniformly at random
+// within the sensor's duty cycle is probed at the first beacon falling
+// inside the contact. The expected probed fraction is
+//
+//	Upsilon(d, Tcontact) = Tcontact/(2*Ton) * d        if Tcycle >= Tcontact
+//	Upsilon(d, Tcontact) = 1 - Ton/(2*d*Tcontact)      if Tcycle <  Tcontact
+//
+// where Tcycle = Ton/d. The boundary d = Ton/Tcontact — the "knee" — is
+// where both branches equal 1/2; below the knee Upsilon is linear in d,
+// above it returns diminish. SNIP-RH exploits exactly this shape by
+// running at the knee of the learned mean contact length (§VI.C).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rushprobe/internal/dist"
+)
+
+// Config holds the radio parameters of the SNIP model.
+type Config struct {
+	// Ton is the radio on-period per duty cycle, in seconds. The beacon
+	// is transmitted at the start of each on-period.
+	Ton float64
+}
+
+// DefaultTon is the calibrated on-period (20 ms) that reproduces the
+// anchor values of the paper's Figures 5-8; see DESIGN.md §2.
+const DefaultTon = 0.020
+
+// DefaultConfig returns the calibrated model configuration.
+func DefaultConfig() Config { return Config{Ton: DefaultTon} }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Ton <= 0 {
+		return fmt.Errorf("model: Ton must be positive, got %g", c.Ton)
+	}
+	return nil
+}
+
+// Upsilon returns the expected probed fraction of a contact of length
+// tContact when probing with duty-cycle d (Equation 1). Out-of-range
+// inputs are clamped: d <= 0 or tContact <= 0 probe nothing; d > 1 is
+// treated as d = 1. Note that even an always-on radio (d = 1) does not
+// probe a full contact: SNIP beacons once per cycle (every Ton), so the
+// expected discovery delay is Ton/2 and Upsilon(1) = 1 - Ton/(2*tContact)
+// on the saturating branch. The function is continuous in d on (0, 1].
+func (c Config) Upsilon(d, tContact float64) float64 {
+	if d <= 0 || tContact <= 0 {
+		return 0
+	}
+	if d > 1 {
+		d = 1
+	}
+	tCycle := c.Ton / d
+	if tCycle >= tContact {
+		return tContact / (2 * c.Ton) * d
+	}
+	return 1 - c.Ton/(2*d*tContact)
+}
+
+// Knee returns the duty cycle d = Ton/tContact at which the linear and
+// saturating branches meet (Upsilon = 1/2). For contacts shorter than
+// Ton the knee saturates at 1.
+func (c Config) Knee(tContact float64) float64 {
+	if tContact <= 0 {
+		return 1
+	}
+	d := c.Ton / tContact
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Rho returns the probing cost per unit of probed contact capacity when
+// probing a stream of contacts of length tContact arriving with frequency
+// freq (contacts per second) at duty cycle d:
+//
+//	rho = Phi/zeta = d / (freq * tContact * Upsilon(d, tContact))
+//
+// It returns +Inf when nothing can be probed.
+func (c Config) Rho(d, tContact, freq float64) float64 {
+	u := c.Upsilon(d, tContact)
+	if u <= 0 || freq <= 0 {
+		return math.Inf(1)
+	}
+	return d / (freq * tContact * u)
+}
+
+// CapacityRate returns the probed contact capacity per unit time (seconds
+// of probed contact per second) for contacts of length tContact arriving
+// with frequency freq, probed at duty cycle d.
+func (c Config) CapacityRate(d, tContact, freq float64) float64 {
+	return freq * tContact * c.Upsilon(d, tContact)
+}
+
+// DutyForUpsilon returns the smallest duty cycle achieving the target
+// probed fraction for contacts of length tContact. Targets >= 1 require
+// an always-on radio (d = 1); non-positive targets need no probing.
+func (c Config) DutyForUpsilon(target, tContact float64) float64 {
+	if target <= 0 {
+		return 0
+	}
+	if tContact <= 0 {
+		return 1
+	}
+	if target <= 0.5 {
+		// Linear branch: Upsilon = tContact/(2 Ton) * d.
+		d := 2 * c.Ton * target / tContact
+		return math.Min(d, 1)
+	}
+	if target >= 1 {
+		return 1
+	}
+	// Saturating branch: Upsilon = 1 - Ton/(2 d tContact).
+	d := c.Ton / (2 * tContact * (1 - target))
+	return math.Min(d, 1)
+}
+
+// ExpectedUpsilon returns E[Upsilon(d, L)] where the contact length L
+// follows the given distribution. The expectation is evaluated by
+// adaptive Simpson integration over the distribution's effective support;
+// for dist.Fixed it reduces to the closed form.
+//
+// The SNIP paper's footnote 1 observes that for exponential L, Upsilon is
+// no longer piecewise linear but retains a visible slope change at
+// Tcycle = mean(L); this function is what the ablation experiments use to
+// verify that claim.
+func (c Config) ExpectedUpsilon(d float64, length dist.Sampler) float64 {
+	if f, ok := length.(dist.Fixed); ok {
+		return c.Upsilon(d, f.Value)
+	}
+	pdf, lo, hi, ok := densityOf(length)
+	if !ok {
+		// Unknown distribution: fall back to the closed form at the mean.
+		return c.Upsilon(d, length.Mean())
+	}
+	f := func(l float64) float64 { return pdf(l) * c.Upsilon(d, l) }
+	return simpson(f, lo, hi, 4096)
+}
+
+// densityOf returns the pdf and effective support of the supported
+// analytic distributions.
+func densityOf(s dist.Sampler) (pdf func(float64) float64, lo, hi float64, ok bool) {
+	switch d := s.(type) {
+	case dist.Normal:
+		sigma := d.Sigma
+		if sigma <= 0 {
+			return nil, 0, 0, false
+		}
+		norm := 1 / (sigma * math.Sqrt(2*math.Pi))
+		pdf = func(x float64) float64 {
+			z := (x - d.Mu) / sigma
+			return norm * math.Exp(-z*z/2)
+		}
+		lo = math.Max(0, d.Mu-8*sigma)
+		hi = d.Mu + 8*sigma
+		return pdf, lo, hi, true
+	case dist.Exponential:
+		if d.MeanValue <= 0 {
+			return nil, 0, 0, false
+		}
+		rate := 1 / d.MeanValue
+		pdf = func(x float64) float64 { return rate * math.Exp(-rate*x) }
+		return pdf, 0, 40 * d.MeanValue, true
+	case dist.Uniform:
+		if d.Hi <= d.Lo {
+			return nil, 0, 0, false
+		}
+		h := 1 / (d.Hi - d.Lo)
+		pdf = func(x float64) float64 {
+			if x < d.Lo || x >= d.Hi {
+				return 0
+			}
+			return h
+		}
+		return pdf, d.Lo, d.Hi, true
+	case dist.LogNormal:
+		if d.Sigma <= 0 {
+			return nil, 0, 0, false
+		}
+		pdf = func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			z := (math.Log(x) - d.Mu) / d.Sigma
+			return math.Exp(-z*z/2) / (x * d.Sigma * math.Sqrt(2*math.Pi))
+		}
+		hi = math.Exp(d.Mu + 10*d.Sigma)
+		return pdf, 1e-12, hi, true
+	default:
+		return nil, 0, 0, false
+	}
+}
+
+// simpson integrates f over [a, b] with n panels (n rounded up to even).
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if b <= a {
+		return 0
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// SlotProcess describes the contact arrival process of one time slot as
+// the scheduler's analysis sees it: a slot duration, a contact arrival
+// frequency within the slot, and a contact length distribution.
+type SlotProcess struct {
+	// Duration of the slot in seconds.
+	Duration float64
+	// Freq is the contact arrival frequency in contacts per second.
+	Freq float64
+	// Length is the contact length distribution.
+	Length dist.Sampler
+}
+
+// Capacity returns the total contact capacity (seconds of contact) that
+// arrives during the slot.
+func (p SlotProcess) Capacity() float64 {
+	if p.Length == nil {
+		return 0
+	}
+	return p.Duration * p.Freq * p.Length.Mean()
+}
+
+// ProbedCapacity returns the expected probed capacity zeta_i(d) when
+// probing the slot at duty cycle d (§V).
+func (p SlotProcess) ProbedCapacity(c Config, d float64) float64 {
+	if p.Length == nil {
+		return 0
+	}
+	if f, ok := p.Length.(dist.Fixed); ok {
+		return p.Duration * p.Freq * f.Value * c.Upsilon(d, f.Value)
+	}
+	// E[L * Upsilon(d, L)] — weight each length by its capacity share.
+	pdf, lo, hi, ok := densityOf(p.Length)
+	if !ok {
+		m := p.Length.Mean()
+		return p.Duration * p.Freq * m * c.Upsilon(d, m)
+	}
+	f := func(l float64) float64 { return pdf(l) * l * c.Upsilon(d, l) }
+	return p.Duration * p.Freq * simpson(f, lo, hi, 4096)
+}
+
+// Energy returns the probing energy (radio on-time, seconds) spent when
+// probing the whole slot at duty cycle d.
+func (p SlotProcess) Energy(d float64) float64 { return p.Duration * d }

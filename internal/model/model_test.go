@@ -1,0 +1,343 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/rng"
+)
+
+func cfg() Config { return Config{Ton: 0.020} }
+
+func TestUpsilonLinearBranch(t *testing.T) {
+	c := cfg()
+	// Tcontact = 2s, d = 0.001 -> Tcycle = 20s >= 2s: linear branch.
+	got := c.Upsilon(0.001, 2.0)
+	want := 2.0 / (2 * 0.020) * 0.001 // = 0.05
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Upsilon(0.001, 2) = %v, want %v", got, want)
+	}
+}
+
+func TestUpsilonSaturatingBranch(t *testing.T) {
+	c := cfg()
+	// d = 0.02 -> Tcycle = 1s < 2s: saturating branch.
+	got := c.Upsilon(0.02, 2.0)
+	want := 1 - 0.020/(2*0.02*2.0) // = 0.75
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Upsilon(0.02, 2) = %v, want %v", got, want)
+	}
+}
+
+func TestUpsilonContinuousAtKnee(t *testing.T) {
+	c := cfg()
+	for _, tc := range []float64{0.5, 1, 2, 10, 60} {
+		knee := c.Knee(tc)
+		below := c.Upsilon(knee*(1-1e-9), tc)
+		at := c.Upsilon(knee, tc)
+		above := c.Upsilon(knee*(1+1e-9), tc)
+		if math.Abs(at-0.5) > 1e-9 {
+			t.Errorf("Upsilon at knee(tc=%v) = %v, want 0.5", tc, at)
+		}
+		if math.Abs(below-at) > 1e-6 || math.Abs(above-at) > 1e-6 {
+			t.Errorf("discontinuity at knee(tc=%v): below=%v at=%v above=%v", tc, below, at, above)
+		}
+	}
+}
+
+func TestUpsilonClamps(t *testing.T) {
+	c := cfg()
+	tests := []struct {
+		name        string
+		d, tContact float64
+		want        float64
+	}{
+		{name: "zero duty", d: 0, tContact: 2, want: 0},
+		{name: "negative duty", d: -0.5, tContact: 2, want: 0},
+		{name: "zero contact", d: 0.5, tContact: 0, want: 0},
+		// Always-on still pays the mean half-beacon-period discovery
+		// delay: 1 - Ton/(2*2) = 0.995.
+		{name: "always on", d: 1, tContact: 2, want: 0.995},
+		{name: "above one clamps to one", d: 1.5, tContact: 2, want: 0.995},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Upsilon(tt.d, tt.tContact); got != tt.want {
+				t.Errorf("Upsilon(%v, %v) = %v, want %v", tt.d, tt.tContact, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestKnee(t *testing.T) {
+	c := cfg()
+	if got, want := c.Knee(2.0), 0.01; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Knee(2) = %v, want %v", got, want)
+	}
+	if got := c.Knee(0.010); got != 1 { // contact shorter than Ton
+		t.Errorf("Knee(10ms) = %v, want 1", got)
+	}
+	if got := c.Knee(0); got != 1 {
+		t.Errorf("Knee(0) = %v, want 1", got)
+	}
+}
+
+func TestDutyForUpsilonInverts(t *testing.T) {
+	c := cfg()
+	for _, target := range []float64{0.05, 0.2, 0.5, 0.6, 0.9, 0.99} {
+		for _, tc := range []float64{0.5, 2, 10} {
+			d := c.DutyForUpsilon(target, tc)
+			got := c.Upsilon(d, tc)
+			if d < 1 && math.Abs(got-target) > 1e-9 {
+				t.Errorf("DutyForUpsilon(%v, %v) = %v gives Upsilon %v", target, tc, d, got)
+			}
+		}
+	}
+	if got := c.DutyForUpsilon(0, 2); got != 0 {
+		t.Errorf("target 0 should need no probing, got %v", got)
+	}
+	if got := c.DutyForUpsilon(1, 2); got != 1 {
+		t.Errorf("target 1 should need always-on, got %v", got)
+	}
+}
+
+func TestRhoConstantBelowKnee(t *testing.T) {
+	c := cfg()
+	// Below the knee, rho is independent of d (§VI.C).
+	freq := 1.0 / 300
+	r1 := c.Rho(0.002, 2.0, freq)
+	r2 := c.Rho(0.005, 2.0, freq)
+	r3 := c.Rho(0.01, 2.0, freq) // exactly at the knee
+	if math.Abs(r1-r2) > 1e-9 || math.Abs(r2-r3) > 1e-9 {
+		t.Errorf("rho below knee should be constant: %v, %v, %v", r1, r2, r3)
+	}
+	// The paper's rush-hour anchor: rho = 2*Ton/(freq*tContact^2)... via
+	// linear branch: rho = d / (f*tc*(tc/(2Ton))*d) = 2Ton/(f*tc^2) = 3.
+	if want := 3.0; math.Abs(r1-want) > 1e-9 {
+		t.Errorf("rush-hour rho = %v, want %v", r1, want)
+	}
+}
+
+func TestRhoIncreasesAboveKnee(t *testing.T) {
+	c := cfg()
+	freq := 1.0 / 300
+	atKnee := c.Rho(0.01, 2.0, freq)
+	above := c.Rho(0.02, 2.0, freq)
+	wayAbove := c.Rho(0.1, 2.0, freq)
+	if !(above > atKnee) || !(wayAbove > above) {
+		t.Errorf("rho should increase above knee: %v, %v, %v", atKnee, above, wayAbove)
+	}
+}
+
+func TestRhoEdge(t *testing.T) {
+	c := cfg()
+	if !math.IsInf(c.Rho(0, 2, 0.01), 1) {
+		t.Error("rho with zero duty should be +Inf")
+	}
+	if !math.IsInf(c.Rho(0.01, 2, 0), 1) {
+		t.Error("rho with zero frequency should be +Inf")
+	}
+}
+
+func TestPaperAnchorValues(t *testing.T) {
+	// The quantitative anchors from DESIGN.md used to calibrate Ton=20ms.
+	c := Config{Ton: DefaultTon}
+	// SNIP-AT at budget duty d0 = 1/1000 probes 8.8s of the 176s daily
+	// capacity.
+	const (
+		nRush      = 48.0 // contacts in rush hours per day
+		nOther     = 40.0
+		tContact   = 2.0
+		d0         = 0.001
+		rushFreq   = 1.0 / 300
+		otherFreq  = 1.0 / 1800
+		slotRushS  = 4 * 3600.0
+		slotOtherS = 20 * 3600.0
+	)
+	zetaAT := (nRush + nOther) * tContact * c.Upsilon(d0, tContact)
+	if math.Abs(zetaAT-8.8) > 1e-9 {
+		t.Errorf("AT capacity at budget = %v, want 8.8", zetaAT)
+	}
+	// rho for AT across the whole day: Phi = 86400*d0 = 86.4.
+	rhoAT := 86400 * d0 / zetaAT
+	if math.Abs(rhoAT-9.818181818) > 1e-6 {
+		t.Errorf("AT rho = %v, want ~9.82", rhoAT)
+	}
+	// RH at the knee probes half of rush capacity: 96*0.5 = 48s for
+	// Phi = 14400*0.01 = 144s -> rho = 3.
+	drh := c.Knee(tContact)
+	zetaRH := nRush * tContact * c.Upsilon(drh, tContact)
+	if math.Abs(zetaRH-48) > 1e-9 {
+		t.Errorf("RH max capacity = %v, want 48", zetaRH)
+	}
+	phiRH := slotRushS * drh
+	if math.Abs(phiRH-144) > 1e-9 {
+		t.Errorf("RH full phi = %v, want 144", phiRH)
+	}
+	if rho := phiRH / zetaRH; math.Abs(rho-3) > 1e-9 {
+		t.Errorf("RH rho = %v, want 3", rho)
+	}
+	_ = rushFreq
+	_ = otherFreq
+	_ = slotOtherS
+}
+
+func TestExpectedUpsilonFixedMatchesClosedForm(t *testing.T) {
+	c := cfg()
+	for _, d := range []float64{0.001, 0.01, 0.05} {
+		got := c.ExpectedUpsilon(d, dist.Fixed{Value: 2})
+		want := c.Upsilon(d, 2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("ExpectedUpsilon(fixed) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpectedUpsilonNarrowNormalNearFixed(t *testing.T) {
+	c := cfg()
+	// sigma = mean/10: expectation should be within ~1% of the fixed-length
+	// value away from the knee, where Upsilon is locally smooth.
+	for _, d := range []float64{0.002, 0.05} {
+		got := c.ExpectedUpsilon(d, dist.NormalTenth(2))
+		want := c.Upsilon(d, 2)
+		if math.Abs(got-want) > 0.01*math.Max(want, 0.01) {
+			t.Errorf("d=%v: ExpectedUpsilon(normal) = %v, closed form %v", d, got, want)
+		}
+	}
+}
+
+func TestExpectedUpsilonExponentialSlopeChange(t *testing.T) {
+	c := cfg()
+	// Footnote 1: for exponential lengths the curve still changes slope
+	// near the knee of the mean. Compare secant slopes well below and
+	// well above the knee of mean=2s (knee at d=0.01).
+	length := dist.Exponential{MeanValue: 2}
+	slope := func(d1, d2 float64) float64 {
+		return (c.ExpectedUpsilon(d2, length) - c.ExpectedUpsilon(d1, length)) / (d2 - d1)
+	}
+	below := slope(0.002, 0.004)
+	above := slope(0.04, 0.08)
+	if !(below > 3*above) {
+		t.Errorf("slope below knee (%v) should greatly exceed slope above (%v)", below, above)
+	}
+}
+
+func TestExpectedUpsilonMonotoneInD(t *testing.T) {
+	c := cfg()
+	for _, length := range []dist.Sampler{
+		dist.NormalTenth(2),
+		dist.Exponential{MeanValue: 2},
+		dist.Uniform{Lo: 1, Hi: 3},
+	} {
+		prev := -1.0
+		for _, d := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.2} {
+			u := c.ExpectedUpsilon(d, length)
+			if u < prev-1e-9 {
+				t.Errorf("%v: ExpectedUpsilon not monotone at d=%v", length, d)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestExpectedUpsilonUnknownSamplerFallsBack(t *testing.T) {
+	c := cfg()
+	got := c.ExpectedUpsilon(0.005, fakeSampler{mean: 2})
+	want := c.Upsilon(0.005, 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("fallback = %v, want closed form %v", got, want)
+	}
+}
+
+func TestSlotProcessCapacity(t *testing.T) {
+	p := SlotProcess{Duration: 3600, Freq: 1.0 / 300, Length: dist.Fixed{Value: 2}}
+	if got, want := p.Capacity(), 24.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Capacity = %v, want %v", got, want)
+	}
+	var empty SlotProcess
+	if empty.Capacity() != 0 {
+		t.Error("empty slot should have zero capacity")
+	}
+}
+
+func TestSlotProcessProbedCapacity(t *testing.T) {
+	c := cfg()
+	p := SlotProcess{Duration: 3600, Freq: 1.0 / 300, Length: dist.Fixed{Value: 2}}
+	// At the knee, half the capacity is probed.
+	got := p.ProbedCapacity(c, 0.01)
+	if math.Abs(got-12.0) > 1e-9 {
+		t.Errorf("ProbedCapacity at knee = %v, want 12", got)
+	}
+	// Energy at the knee.
+	if e := p.Energy(0.01); math.Abs(e-36.0) > 1e-12 {
+		t.Errorf("Energy = %v, want 36", e)
+	}
+}
+
+func TestSlotProcessProbedCapacityDistributed(t *testing.T) {
+	c := cfg()
+	fixed := SlotProcess{Duration: 3600, Freq: 1.0 / 300, Length: dist.Fixed{Value: 2}}
+	normal := SlotProcess{Duration: 3600, Freq: 1.0 / 300, Length: dist.NormalTenth(2)}
+	df, dn := fixed.ProbedCapacity(c, 0.002), normal.ProbedCapacity(c, 0.002)
+	// Narrow normal should be within 2% of fixed in the linear regime.
+	if math.Abs(df-dn) > 0.02*df {
+		t.Errorf("normal-length probed capacity %v deviates from fixed %v", dn, df)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Ton: 0.02}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero Ton should be rejected")
+	}
+	if err := (Config{Ton: -1}).Validate(); err == nil {
+		t.Error("negative Ton should be rejected")
+	}
+}
+
+// Property: Upsilon is always within [0, 1] and monotone nondecreasing in
+// d for arbitrary positive contact lengths.
+func TestUpsilonBoundsProperty(t *testing.T) {
+	c := cfg()
+	f := func(rawD, rawT uint16) bool {
+		d := float64(rawD%10000) / 10000
+		tc := 0.01 + float64(rawT%6000)/100
+		u := c.Upsilon(d, tc)
+		if u < 0 || u > 1 {
+			return false
+		}
+		u2 := c.Upsilon(math.Min(d+0.01, 1), tc)
+		return u2+1e-12 >= u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DutyForUpsilon is the inverse of Upsilon wherever it does not
+// clamp at 1.
+func TestDutyInverseProperty(t *testing.T) {
+	c := cfg()
+	f := func(rawU, rawT uint16) bool {
+		target := float64(rawU%999+1) / 1000 // (0, 1)
+		tc := 0.1 + float64(rawT%600)/10
+		d := c.DutyForUpsilon(target, tc)
+		if d >= 1 {
+			return true // clamped; nothing to invert
+		}
+		return math.Abs(c.Upsilon(d, tc)-target) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type fakeSampler struct{ mean float64 }
+
+func (f fakeSampler) Sample(rng.Source) float64 { return f.mean }
+func (f fakeSampler) Mean() float64             { return f.mean }
+func (f fakeSampler) String() string            { return "fake" }

@@ -1,0 +1,321 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/model"
+)
+
+// roadside returns the paper's §VII.A scenario as an opt problem:
+// 24 hourly slots, rush hours 7-9 and 17-19 with Tinterval=300s,
+// otherwise 1800s, Tcontact fixed at 2s.
+func roadside(phiMax, zetaTarget float64) Problem {
+	slots := make([]model.SlotProcess, 24)
+	for i := range slots {
+		freq := 1.0 / 1800
+		if (i >= 7 && i < 9) || (i >= 17 && i < 19) {
+			freq = 1.0 / 300
+		}
+		slots[i] = model.SlotProcess{
+			Duration: 3600,
+			Freq:     freq,
+			Length:   dist.Fixed{Value: 2},
+		}
+	}
+	return Problem{
+		Model:      model.DefaultConfig(),
+		Slots:      slots,
+		PhiMax:     phiMax,
+		ZetaTarget: zetaTarget,
+	}
+}
+
+func TestSolveTightBudgetIsBudgetBound(t *testing.T) {
+	// Fig 5 regime: PhiMax = Tepoch/1000 = 86.4s. Optimal zeta = 28.8s
+	// (all budget into rush-hour slots at the knee efficiency 1/3).
+	p := roadside(86.4, 56)
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TargetMet {
+		t.Error("target 56s cannot be met under 86.4s budget")
+	}
+	if !plan.BudgetBound {
+		t.Error("plan should exhaust the budget")
+	}
+	if math.Abs(plan.Zeta-28.8) > 0.05 {
+		t.Errorf("zeta = %v, want ~28.8", plan.Zeta)
+	}
+	if math.Abs(plan.Phi-86.4) > 0.01 {
+		t.Errorf("phi = %v, want 86.4", plan.Phi)
+	}
+	if math.Abs(plan.Rho()-3.0) > 0.01 {
+		t.Errorf("rho = %v, want ~3", plan.Rho())
+	}
+	// All spend must be in rush-hour slots.
+	for i, d := range plan.Duty {
+		rush := (i >= 7 && i < 9) || (i >= 17 && i < 19)
+		if !rush && d > 1e-9 {
+			t.Errorf("slot %d (non-rush) has duty %v, want 0", i, d)
+		}
+	}
+}
+
+func TestSolveMeetsTargetMinimally(t *testing.T) {
+	// Fig 6 regime: PhiMax = 864s, target 24s. Minimal energy is
+	// 24 * rho_rush = 72s, all inside rush hours.
+	p := roadside(864, 24)
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetMet {
+		t.Fatalf("target should be met; plan zeta = %v", plan.Zeta)
+	}
+	if math.Abs(plan.Zeta-24) > 0.05 {
+		t.Errorf("zeta = %v, want 24 (no overshoot)", plan.Zeta)
+	}
+	if math.Abs(plan.Phi-72) > 0.2 {
+		t.Errorf("phi = %v, want ~72", plan.Phi)
+	}
+}
+
+func TestSolvePushesPastKneeForHighTargets(t *testing.T) {
+	// Fig 6 at zetaTarget=56: rush-hour capacity at the knee is only 48s.
+	// The optimum raises rush-hour duty past the knee (marginal efficiency
+	// there still beats other slots' 1/18) for a total Phi of 172.8s.
+	p := roadside(864, 56)
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetMet {
+		t.Fatalf("target 56 should be met under 864s budget; zeta = %v", plan.Zeta)
+	}
+	if math.Abs(plan.Zeta-56) > 0.1 {
+		t.Errorf("zeta = %v, want 56", plan.Zeta)
+	}
+	if math.Abs(plan.Phi-172.8) > 1.0 {
+		t.Errorf("phi = %v, want ~172.8 (all-in rush hours past the knee)", plan.Phi)
+	}
+	for i, d := range plan.Duty {
+		rush := (i >= 7 && i < 9) || (i >= 17 && i < 19)
+		if rush && d <= 0.01 {
+			t.Errorf("rush slot %d duty = %v, want > knee 0.01", i, d)
+		}
+		if !rush && d > 1e-9 {
+			t.Errorf("non-rush slot %d duty = %v, want 0", i, d)
+		}
+	}
+}
+
+func TestSolveSpillsToOffPeakWhenRushSaturated(t *testing.T) {
+	// Force rush slots to their duty cap so the optimizer must use
+	// off-peak slots to reach the target.
+	p := roadside(10000, 56)
+	p.MaxDuty = 0.01 // exactly the knee: rush capacity tops out at 48s
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetMet {
+		t.Fatalf("target should be met via off-peak spill; zeta = %v", plan.Zeta)
+	}
+	offPeak := 0.0
+	for i, d := range plan.Duty {
+		rush := (i >= 7 && i < 9) || (i >= 17 && i < 19)
+		if !rush {
+			offPeak += d * 3600
+		}
+	}
+	// Needs 8 extra seconds of capacity at off-peak efficiency 1/18.
+	if math.Abs(offPeak-144) > 2 {
+		t.Errorf("off-peak energy = %v, want ~144", offPeak)
+	}
+}
+
+func TestSolveZeroTarget(t *testing.T) {
+	p := roadside(86.4, 0)
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetMet {
+		t.Error("zero target is always met")
+	}
+	if plan.Phi > tol {
+		t.Errorf("zero target should spend nothing, got phi = %v", plan.Phi)
+	}
+}
+
+func TestSolveZeroBudget(t *testing.T) {
+	p := roadside(0, 24)
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TargetMet {
+		t.Error("cannot meet positive target with zero budget")
+	}
+	if plan.Zeta != 0 || plan.Phi != 0 {
+		t.Errorf("zero budget should produce empty plan, got zeta=%v phi=%v", plan.Zeta, plan.Phi)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	base := roadside(86.4, 24)
+	tests := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{name: "no slots", mutate: func(p *Problem) { p.Slots = nil }},
+		{name: "bad Ton", mutate: func(p *Problem) { p.Model.Ton = 0 }},
+		{name: "bad duration", mutate: func(p *Problem) { p.Slots[0].Duration = 0 }},
+		{name: "negative freq", mutate: func(p *Problem) { p.Slots[0].Freq = -1 }},
+		{name: "missing length", mutate: func(p *Problem) { p.Slots[3].Length = nil }},
+		{name: "negative budget", mutate: func(p *Problem) { p.PhiMax = -1 }},
+		{name: "negative target", mutate: func(p *Problem) { p.ZetaTarget = -1 }},
+		{name: "bad MaxDuty", mutate: func(p *Problem) { p.MaxDuty = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			p.Slots = append([]model.SlotProcess(nil), base.Slots...)
+			tt.mutate(&p)
+			if _, err := Solve(p); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name       string
+		phiMax     float64
+		zetaTarget float64
+	}{
+		{name: "fig5 low target", phiMax: 86.4, zetaTarget: 16},
+		{name: "fig5 high target", phiMax: 86.4, zetaTarget: 48},
+		{name: "fig6 mid target", phiMax: 864, zetaTarget: 32},
+		{name: "fig6 beyond knee", phiMax: 864, zetaTarget: 56},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			p := roadside(tt.phiMax, tt.zetaTarget)
+			exact, err := Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx, err := BruteForce(p, 4000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The greedy oracle is quantized; allow ~1% slack.
+			if exact.TargetMet != approx.TargetMet {
+				t.Errorf("TargetMet: exact=%v approx=%v", exact.TargetMet, approx.TargetMet)
+			}
+			if exact.TargetMet {
+				// Both meet the target: exact must not cost more energy.
+				if exact.Phi > approx.Phi*1.01+0.1 {
+					t.Errorf("exact phi %v worse than greedy %v", exact.Phi, approx.Phi)
+				}
+			} else {
+				// Neither meets: exact must not probe less capacity.
+				if exact.Zeta < approx.Zeta*0.99-0.1 {
+					t.Errorf("exact zeta %v worse than greedy %v", exact.Zeta, approx.Zeta)
+				}
+			}
+		})
+	}
+}
+
+func TestSolveWithDistributedLengths(t *testing.T) {
+	p := roadside(864, 24)
+	for i := range p.Slots {
+		p.Slots[i].Length = dist.NormalTenth(2)
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetMet {
+		t.Fatalf("target should be met with normal lengths; zeta = %v", plan.Zeta)
+	}
+	// Narrow normal is close to fixed: energy within a few percent of 72s.
+	if math.Abs(plan.Phi-72) > 5 {
+		t.Errorf("phi = %v, want ~72", plan.Phi)
+	}
+}
+
+func TestSolveUniformScenarioUsesAllSlotsEqually(t *testing.T) {
+	// With identical slots there is no rush hour; the optimum spreads
+	// energy and every slot gets the same duty.
+	slots := make([]model.SlotProcess, 12)
+	for i := range slots {
+		slots[i] = model.SlotProcess{Duration: 7200, Freq: 1.0 / 600, Length: dist.Fixed{Value: 2}}
+	}
+	p := Problem{Model: model.DefaultConfig(), Slots: slots, PhiMax: 100, ZetaTarget: 1e9}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TargetMet {
+		t.Error("absurd target cannot be met")
+	}
+	first := plan.Duty[0]
+	for i, d := range plan.Duty {
+		if math.Abs(d-first) > 1e-6 {
+			t.Errorf("slot %d duty %v differs from slot 0 %v", i, d, first)
+		}
+	}
+	if math.Abs(plan.Phi-100) > 0.01 {
+		t.Errorf("phi = %v, want all of 100", plan.Phi)
+	}
+}
+
+func TestPlanRho(t *testing.T) {
+	if r := (Plan{Zeta: 0, Phi: 10}).Rho(); !math.IsInf(r, 1) {
+		t.Errorf("rho with zero capacity = %v, want +Inf", r)
+	}
+	if r := (Plan{Zeta: 4, Phi: 12}).Rho(); r != 3 {
+		t.Errorf("rho = %v, want 3", r)
+	}
+}
+
+func TestBruteForceValidation(t *testing.T) {
+	p := roadside(86.4, 24)
+	if _, err := BruteForce(p, 0); err == nil {
+		t.Error("zero steps should error")
+	}
+}
+
+// The step-1/step-2 split of §V: when the budget allows more than the
+// target, step 2 must not spend beyond what the target needs, and when it
+// does not, step 1 must spend everything.
+func TestTwoStepSemantics(t *testing.T) {
+	tight, err := Solve(roadside(86.4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16s at rho 3 needs 48s of energy, within the 86.4 budget.
+	if !tight.TargetMet {
+		t.Fatal("16s target is feasible under 86.4s budget")
+	}
+	if math.Abs(tight.Phi-48) > 0.2 {
+		t.Errorf("phi = %v, want ~48 (minimal)", tight.Phi)
+	}
+	loose, err := Solve(roadside(86.4, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.TargetMet {
+		t.Error("40s target infeasible under 86.4s budget")
+	}
+	if math.Abs(loose.Phi-86.4) > 0.01 {
+		t.Errorf("phi = %v, want full budget", loose.Phi)
+	}
+}

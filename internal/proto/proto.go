@@ -1,0 +1,305 @@
+// Package proto defines the over-the-air frames of the SNIP probing
+// protocol and their wire encoding. The simulator models timing only,
+// but a deployable implementation needs concrete frames; these match
+// the interactions the paper describes (§II-§III): the sensor's beacon,
+// the mobile node's acknowledgement that establishes the contact, data
+// segments during the probed time, and the final receipt.
+//
+// Encoding is big-endian with a leading type byte and a trailing
+// 16-bit checksum (IEEE CRC-style sum-complement, cheap enough for an
+// MSP430-class MCU). Frames are small by design: the beacon must fit
+// comfortably inside Ton.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FrameType discriminates the frame kinds on the wire.
+type FrameType uint8
+
+// Frame types.
+const (
+	TypeBeacon FrameType = iota + 1
+	TypeBeaconAck
+	TypeDataSegment
+	TypeReceipt
+)
+
+// String returns the frame type name.
+func (t FrameType) String() string {
+	switch t {
+	case TypeBeacon:
+		return "beacon"
+	case TypeBeaconAck:
+		return "beacon-ack"
+	case TypeDataSegment:
+		return "data-segment"
+	case TypeReceipt:
+		return "receipt"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// Sizes of the fixed-length frames on the wire, in bytes.
+const (
+	BeaconSize      = 1 + 4 + 2 + 4 + 2 // type, node, seq, buffered, crc
+	BeaconAckSize   = 1 + 4 + 2 + 1 + 2 // type, mobile, seq, rssi, crc
+	dataHeaderSize  = 1 + 4 + 2 + 2     // type, node, seq, payload len
+	ReceiptSize     = 1 + 4 + 2 + 4 + 2 // type, mobile, seq, received, crc
+	crcSize         = 2
+	maxPayloadBytes = 1024
+)
+
+// Errors returned by Decode.
+var (
+	ErrShortFrame   = errors.New("proto: frame too short")
+	ErrBadChecksum  = errors.New("proto: checksum mismatch")
+	ErrUnknownType  = errors.New("proto: unknown frame type")
+	ErrWrongType    = errors.New("proto: unexpected frame type")
+	ErrPayloadSize  = errors.New("proto: payload size out of range")
+	ErrTrailingData = errors.New("proto: trailing bytes after frame")
+)
+
+// Beacon is broadcast by the sensor node at the start of each radio
+// on-period (§III). Buffered advertises the pending data volume so the
+// mobile node can plan the transfer.
+type Beacon struct {
+	// NodeID identifies the sensor node.
+	NodeID uint32
+	// Seq increments per beacon, wrapping; lets the mobile node detect
+	// duplicate beacons within one contact.
+	Seq uint16
+	// Buffered is the sensor's pending data volume in bytes (saturating
+	// at 2^32-1).
+	Buffered uint32
+}
+
+// Encode appends the wire form of the beacon to dst.
+func (b Beacon) Encode(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(TypeBeacon))
+	dst = binary.BigEndian.AppendUint32(dst, b.NodeID)
+	dst = binary.BigEndian.AppendUint16(dst, b.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, b.Buffered)
+	return appendCRC(dst, start)
+}
+
+// DecodeBeacon parses a beacon frame.
+func DecodeBeacon(frame []byte) (Beacon, error) {
+	if err := checkFrame(frame, TypeBeacon, BeaconSize); err != nil {
+		return Beacon{}, err
+	}
+	return Beacon{
+		NodeID:   binary.BigEndian.Uint32(frame[1:5]),
+		Seq:      binary.BigEndian.Uint16(frame[5:7]),
+		Buffered: binary.BigEndian.Uint32(frame[7:11]),
+	}, nil
+}
+
+// BeaconAck is the mobile node's immediate reply; receiving it is what
+// marks the contact as probed and starts Tprobed.
+type BeaconAck struct {
+	// MobileID identifies the mobile node.
+	MobileID uint32
+	// Seq echoes the beacon's sequence number.
+	Seq uint16
+	// RSSI is the received signal strength indicator of the beacon in
+	// -dBm (0..255); a sensor choosing between several mobile nodes can
+	// prefer the strongest (§II).
+	RSSI uint8
+}
+
+// Encode appends the wire form of the ack to dst.
+func (a BeaconAck) Encode(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(TypeBeaconAck))
+	dst = binary.BigEndian.AppendUint32(dst, a.MobileID)
+	dst = binary.BigEndian.AppendUint16(dst, a.Seq)
+	dst = append(dst, a.RSSI)
+	return appendCRC(dst, start)
+}
+
+// DecodeBeaconAck parses a beacon-ack frame.
+func DecodeBeaconAck(frame []byte) (BeaconAck, error) {
+	if err := checkFrame(frame, TypeBeaconAck, BeaconAckSize); err != nil {
+		return BeaconAck{}, err
+	}
+	return BeaconAck{
+		MobileID: binary.BigEndian.Uint32(frame[1:5]),
+		Seq:      binary.BigEndian.Uint16(frame[5:7]),
+		RSSI:     frame[7],
+	}, nil
+}
+
+// DataSegment carries sensed data during the probed contact time.
+type DataSegment struct {
+	// NodeID identifies the sending sensor node.
+	NodeID uint32
+	// Seq numbers segments within the transfer.
+	Seq uint16
+	// Payload is the report bytes (at most 1024 per segment).
+	Payload []byte
+}
+
+// Encode appends the wire form of the segment to dst. It returns an
+// error when the payload exceeds the segment limit.
+func (d DataSegment) Encode(dst []byte) ([]byte, error) {
+	if len(d.Payload) > maxPayloadBytes {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadSize, len(d.Payload), maxPayloadBytes)
+	}
+	start := len(dst)
+	dst = append(dst, byte(TypeDataSegment))
+	dst = binary.BigEndian.AppendUint32(dst, d.NodeID)
+	dst = binary.BigEndian.AppendUint16(dst, d.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Payload)))
+	dst = append(dst, d.Payload...)
+	return appendCRC(dst, start), nil
+}
+
+// DecodeDataSegment parses a data segment frame.
+func DecodeDataSegment(frame []byte) (DataSegment, error) {
+	if len(frame) < dataHeaderSize+crcSize {
+		return DataSegment{}, ErrShortFrame
+	}
+	if FrameType(frame[0]) != TypeDataSegment {
+		return DataSegment{}, frameTypeError(frame[0], TypeDataSegment)
+	}
+	n := int(binary.BigEndian.Uint16(frame[7:9]))
+	if n > maxPayloadBytes {
+		return DataSegment{}, fmt.Errorf("%w: %d > %d", ErrPayloadSize, n, maxPayloadBytes)
+	}
+	want := dataHeaderSize + n + crcSize
+	if len(frame) < want {
+		return DataSegment{}, ErrShortFrame
+	}
+	if len(frame) > want {
+		return DataSegment{}, ErrTrailingData
+	}
+	if !verifyCRC(frame) {
+		return DataSegment{}, ErrBadChecksum
+	}
+	payload := make([]byte, n)
+	copy(payload, frame[dataHeaderSize:dataHeaderSize+n])
+	return DataSegment{
+		NodeID:  binary.BigEndian.Uint32(frame[1:5]),
+		Seq:     binary.BigEndian.Uint16(frame[5:7]),
+		Payload: payload,
+	}, nil
+}
+
+// Receipt closes the transfer: the mobile node confirms how many bytes
+// it received, which is the sample the SNIP-RH upload EWMA learns from
+// (§VI.B).
+type Receipt struct {
+	// MobileID identifies the mobile node.
+	MobileID uint32
+	// Seq echoes the last data segment's sequence number.
+	Seq uint16
+	// Received is the number of payload bytes received in the transfer.
+	Received uint32
+}
+
+// Encode appends the wire form of the receipt to dst.
+func (r Receipt) Encode(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(TypeReceipt))
+	dst = binary.BigEndian.AppendUint32(dst, r.MobileID)
+	dst = binary.BigEndian.AppendUint16(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, r.Received)
+	return appendCRC(dst, start)
+}
+
+// DecodeReceipt parses a receipt frame.
+func DecodeReceipt(frame []byte) (Receipt, error) {
+	if err := checkFrame(frame, TypeReceipt, ReceiptSize); err != nil {
+		return Receipt{}, err
+	}
+	return Receipt{
+		MobileID: binary.BigEndian.Uint32(frame[1:5]),
+		Seq:      binary.BigEndian.Uint16(frame[5:7]),
+		Received: binary.BigEndian.Uint32(frame[7:11]),
+	}, nil
+}
+
+// PeekType returns the frame type of an encoded frame without decoding
+// it, or an error for unknown/empty frames.
+func PeekType(frame []byte) (FrameType, error) {
+	if len(frame) == 0 {
+		return 0, ErrShortFrame
+	}
+	t := FrameType(frame[0])
+	switch t {
+	case TypeBeacon, TypeBeaconAck, TypeDataSegment, TypeReceipt:
+		return t, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownType, frame[0])
+	}
+}
+
+// AirTime returns the on-air duration of a frame of n bytes at the given
+// bit rate (bits per second), including a fixed 6-byte PHY preamble as
+// on 802.15.4 radios.
+func AirTime(frameBytes int, bitRate float64) float64 {
+	if frameBytes <= 0 || bitRate <= 0 {
+		return 0
+	}
+	const phyPreambleBytes = 6
+	return float64(8*(frameBytes+phyPreambleBytes)) / bitRate
+}
+
+func checkFrame(frame []byte, want FrameType, size int) error {
+	if len(frame) < size {
+		return ErrShortFrame
+	}
+	if len(frame) > size {
+		return ErrTrailingData
+	}
+	if FrameType(frame[0]) != want {
+		return frameTypeError(frame[0], want)
+	}
+	if !verifyCRC(frame) {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
+func frameTypeError(got byte, want FrameType) error {
+	t := FrameType(got)
+	switch t {
+	case TypeBeacon, TypeBeaconAck, TypeDataSegment, TypeReceipt:
+		return fmt.Errorf("%w: got %v, want %v", ErrWrongType, t, want)
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownType, got)
+	}
+}
+
+// checksum is a 16-bit ones'-complement sum over the frame body — the
+// same family as the IP checksum: trivially computable on a sensor MCU
+// and adequate for the short frames involved.
+func checksum(body []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(body); i += 2 {
+		sum += uint32(body[i])<<8 | uint32(body[i+1])
+	}
+	if len(body)%2 == 1 {
+		sum += uint32(body[len(body)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+func appendCRC(dst []byte, start int) []byte {
+	return binary.BigEndian.AppendUint16(dst, checksum(dst[start:]))
+}
+
+func verifyCRC(frame []byte) bool {
+	body := frame[:len(frame)-crcSize]
+	want := binary.BigEndian.Uint16(frame[len(frame)-crcSize:])
+	return checksum(body) == want
+}

@@ -1,0 +1,69 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"rushprobe/internal/simtime"
+)
+
+// Battery describes the sensor node's energy reserve.
+type Battery struct {
+	// CapacityJ is the usable energy in Joules.
+	CapacityJ float64
+}
+
+// TwoAABattery returns the classic TelosB supply: two AA cells,
+// ~2000 mAh at a nominal 3.0 V with ~80% usable depth-of-discharge,
+// about 17.3 kJ.
+func TwoAABattery() Battery {
+	const (
+		mAh    = 2000.0
+		volts  = 3.0
+		usable = 0.8
+	)
+	return Battery{CapacityJ: mAh / 1000 * 3600 * volts * usable}
+}
+
+// LifetimeInput summarizes a scheduling mechanism's steady-state radio
+// usage per epoch, as measured by the simulator or predicted by the
+// analysis.
+type LifetimeInput struct {
+	// Epoch is the epoch duration.
+	Epoch simtime.Duration
+	// ProbingOnTime is Phi: probing radio on-time per epoch (s).
+	ProbingOnTime float64
+	// UploadOnTime is transfer on-time per epoch (s).
+	UploadOnTime float64
+	// CPUOverheadJ adds a fixed non-radio energy per epoch (sensing,
+	// CPU wake-ups) in Joules; zero is acceptable for radio-relative
+	// comparisons.
+	CPUOverheadJ float64
+}
+
+// Lifetime projects how long the battery lasts under the given per-epoch
+// usage, in epochs and as a duration. It returns an error for
+// non-positive epochs or non-positive battery capacity; a usage with no
+// drain at all yields +Inf epochs.
+func Lifetime(pm PowerModel, bat Battery, in LifetimeInput) (epochs float64, span simtime.Duration, err error) {
+	if in.Epoch <= 0 {
+		return 0, 0, fmt.Errorf("radio: lifetime needs positive epoch, got %v", in.Epoch)
+	}
+	if bat.CapacityJ <= 0 {
+		return 0, 0, fmt.Errorf("radio: battery capacity must be positive, got %g", bat.CapacityJ)
+	}
+	if in.ProbingOnTime < 0 || in.UploadOnTime < 0 || in.CPUOverheadJ < 0 {
+		return 0, 0, fmt.Errorf("radio: negative usage %+v", in)
+	}
+	onS := in.ProbingOnTime + in.UploadOnTime
+	offS := in.Epoch.Seconds() - onS
+	if offS < 0 {
+		offS = 0
+	}
+	perEpochJ := pm.EnergyJ(onS, offS) + in.CPUOverheadJ
+	if perEpochJ <= 0 {
+		return math.Inf(1), simtime.Duration(math.MaxFloat64), nil
+	}
+	epochs = bat.CapacityJ / perEpochJ
+	return epochs, simtime.Duration(epochs) * in.Epoch, nil
+}

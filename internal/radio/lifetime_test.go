@@ -1,0 +1,112 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"rushprobe/internal/simtime"
+)
+
+func TestTwoAABattery(t *testing.T) {
+	b := TwoAABattery()
+	// 2 Ah * 3600 * 3 V * 0.8 = 17280 J.
+	if math.Abs(b.CapacityJ-17280) > 1 {
+		t.Errorf("capacity = %v J, want ~17280", b.CapacityJ)
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	pm := TelosB()
+	bat := TwoAABattery()
+	if _, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: 0}); err == nil {
+		t.Error("zero epoch should error")
+	}
+	if _, _, err := Lifetime(pm, Battery{}, LifetimeInput{Epoch: simtime.Day}); err == nil {
+		t.Error("empty battery should error")
+	}
+	if _, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: -1}); err == nil {
+		t.Error("negative usage should error")
+	}
+}
+
+func TestLifetimeOrdering(t *testing.T) {
+	// SNIP-RH (72 s on-time/day) must outlive SNIP-AT under the loose
+	// budget (236 s/day at target 24), and an idle radio outlives both.
+	pm := TelosB()
+	bat := TwoAABattery()
+	rhEpochs, rhSpan, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atEpochs, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: 235.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhEpochs <= atEpochs {
+		t.Errorf("RH lifetime %v epochs should exceed AT %v", rhEpochs, atEpochs)
+	}
+	// Sanity of magnitude: 72 s/day at 56.4 mW radio power ~ 4.07 J/day
+	// radio + ~0.13 J/day sleep: ~11 years. (The real bound would be
+	// sensing and self-discharge; this isolates probing energy.)
+	years := rhSpan.Seconds() / (365.25 * 86400)
+	if years < 5 || years > 20 {
+		t.Errorf("RH projected lifetime = %.1f years, want O(10)", years)
+	}
+}
+
+func TestLifetimeRatioTracksEnergyRatio(t *testing.T) {
+	// With sleep current and CPU overhead at zero, lifetime is inversely
+	// proportional to on-time.
+	pm := PowerModel{VoltageV: 3, ActiveA: 0.02, SleepA: 0}
+	bat := Battery{CapacityJ: 1000}
+	e1, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1/e2-2) > 1e-9 {
+		t.Errorf("lifetime ratio = %v, want 2", e1/e2)
+	}
+}
+
+func TestLifetimeNoDrain(t *testing.T) {
+	pm := PowerModel{VoltageV: 3, ActiveA: 0.02, SleepA: 0}
+	epochs, _, err := Lifetime(pm, Battery{CapacityJ: 10}, LifetimeInput{Epoch: simtime.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(epochs, 1) {
+		t.Errorf("no drain should give infinite lifetime, got %v", epochs)
+	}
+}
+
+func TestLifetimeCPUOverhead(t *testing.T) {
+	pm := PowerModel{VoltageV: 3, ActiveA: 0.02, SleepA: 0}
+	bat := Battery{CapacityJ: 100}
+	withOverhead, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: 10, CPUOverheadJ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, _, err := Lifetime(pm, bat, LifetimeInput{Epoch: simtime.Day, ProbingOnTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOverhead >= without {
+		t.Error("CPU overhead must shorten the lifetime")
+	}
+}
+
+func TestLifetimeOnTimeExceedsEpoch(t *testing.T) {
+	// Degenerate input: more on-time than epoch seconds clamps off-time
+	// at zero rather than crediting negative sleep energy.
+	pm := TelosB()
+	if _, _, err := Lifetime(pm, TwoAABattery(), LifetimeInput{
+		Epoch:         simtime.Duration(10),
+		ProbingOnTime: 20,
+	}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

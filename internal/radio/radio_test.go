@@ -1,0 +1,194 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rushprobe/internal/simtime"
+)
+
+func TestMeterAttributesOnTime(t *testing.T) {
+	m := NewMeter()
+	if m.State() != Off {
+		t.Fatal("fresh meter should be off")
+	}
+	m.TurnOn(10, Listening, Probing)
+	m.TurnOff(12)
+	m.TurnOn(20, Transmitting, Uploading)
+	m.TurnOff(25)
+	probing, uploading := m.Snapshot()
+	if math.Abs(probing-2) > 1e-12 {
+		t.Errorf("probing on-time = %v, want 2", probing)
+	}
+	if math.Abs(uploading-5) > 1e-12 {
+		t.Errorf("upload on-time = %v, want 5", uploading)
+	}
+}
+
+func TestMeterInProgressInterval(t *testing.T) {
+	m := NewMeter()
+	m.TurnOn(10, Listening, Probing)
+	if got := m.ProbingOnTime(14); math.Abs(got-4) > 1e-12 {
+		t.Errorf("in-progress probing = %v, want 4", got)
+	}
+	if got := m.UploadOnTime(14); got != 0 {
+		t.Errorf("upload should be 0, got %v", got)
+	}
+}
+
+func TestMeterPurposeSwitch(t *testing.T) {
+	// Probing from 0-3, then the same on-interval continues as upload
+	// from 3-8 (probe success mid-cycle starts a transfer).
+	m := NewMeter()
+	m.TurnOn(0, Listening, Probing)
+	m.TurnOn(3, Transmitting, Uploading)
+	m.TurnOff(8)
+	probing, uploading := m.Snapshot()
+	if math.Abs(probing-3) > 1e-12 {
+		t.Errorf("probing = %v, want 3", probing)
+	}
+	if math.Abs(uploading-5) > 1e-12 {
+		t.Errorf("uploading = %v, want 5", uploading)
+	}
+}
+
+func TestMeterDoubleOff(t *testing.T) {
+	m := NewMeter()
+	m.TurnOn(0, Listening, Probing)
+	m.TurnOff(2)
+	m.TurnOff(5) // no-op: already off
+	probing, _ := m.Snapshot()
+	if math.Abs(probing-2) > 1e-12 {
+		t.Errorf("probing = %v, want 2", probing)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.TurnOn(0, Listening, Probing)
+	m.TurnOff(2)
+	m.ResetCounters(10)
+	probing, uploading := m.Snapshot()
+	if probing != 0 || uploading != 0 {
+		t.Errorf("after reset: %v, %v", probing, uploading)
+	}
+	// Reset mid-interval restarts attribution.
+	m.TurnOn(20, Listening, Probing)
+	m.ResetCounters(23)
+	m.TurnOff(25)
+	probing, _ = m.Snapshot()
+	if math.Abs(probing-2) > 1e-12 {
+		t.Errorf("post-reset probing = %v, want 2 (only after reset)", probing)
+	}
+}
+
+func TestMeterInvalidStateDefaultsToListening(t *testing.T) {
+	m := NewMeter()
+	m.TurnOn(0, State(99), Probing)
+	if m.State() != Listening {
+		t.Errorf("state = %v, want listening fallback", m.State())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	tests := []struct {
+		give State
+		want string
+	}{
+		{give: Off, want: "off"},
+		{give: Listening, want: "listening"},
+		{give: Transmitting, want: "transmitting"},
+		{give: State(42), want: "state(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("State(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	pm := TelosB()
+	// One hour on, 23 hours off.
+	j := pm.EnergyJ(3600, 23*3600)
+	// 3.0V * (18.8mA*3600 + 5.1uA*82800) = 3*(67.68 + 0.422) ~ 204.3 J
+	if math.Abs(j-204.3) > 1 {
+		t.Errorf("EnergyJ = %v, want ~204.3", j)
+	}
+	// On-time dominates: same on-time with zero off-time is within 1%.
+	if on := pm.EnergyJ(3600, 0); math.Abs(on-j)/j > 0.01 {
+		t.Errorf("sleep current should be negligible: %v vs %v", on, j)
+	}
+}
+
+func TestDutyCyclerSchedule(t *testing.T) {
+	dc, err := NewDutyCycler(0.020, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Cycle(); math.Abs(got.Seconds()-2.0) > 1e-12 {
+		t.Errorf("Cycle = %v, want 2s", got)
+	}
+	if got := dc.Toff(); math.Abs(got.Seconds()-1.98) > 1e-12 {
+		t.Errorf("Toff = %v, want 1.98s", got)
+	}
+	if dc.Duty() != 0.01 || dc.Ton() != simtime.Duration(0.020) {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestDutyCyclerValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		ton, d  float64
+		wantErr bool
+	}{
+		{name: "valid", ton: 0.02, d: 0.5},
+		{name: "full duty", ton: 0.02, d: 1},
+		{name: "zero ton", ton: 0, d: 0.5, wantErr: true},
+		{name: "zero duty", ton: 0.02, d: 0, wantErr: true},
+		{name: "duty above one", ton: 0.02, d: 1.5, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewDutyCycler(tt.ton, tt.d)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// Property: for any sequence of on/off transitions at increasing times,
+// total attributed on-time equals the sum of on-intervals.
+func TestMeterConservationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		m := NewMeter()
+		now := simtime.Instant(0)
+		var wantOn float64
+		on := false
+		var onSince simtime.Instant
+		for _, r := range raw {
+			now = now.Add(simtime.Duration(r%50) + 1)
+			if !on {
+				m.TurnOn(now, Listening, Probing)
+				onSince = now
+				on = true
+			} else {
+				m.TurnOff(now)
+				wantOn += now.Sub(onSince).Seconds()
+				on = false
+			}
+		}
+		if on {
+			m.TurnOff(now.Add(1))
+			wantOn += now.Add(1).Sub(onSince).Seconds()
+		}
+		probing, uploading := m.Snapshot()
+		return math.Abs(probing+uploading-wantOn) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,470 @@
+// Package scenario describes a deployment to be analyzed or simulated:
+// the mobility-pattern epoch and its slots, the per-slot contact arrival
+// process, the radio parameters, the probing-energy budget, and the
+// probed-capacity target. It includes the paper's §VII.A road-side
+// wireless sensor network as the canonical instance.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/model"
+	"rushprobe/internal/simtime"
+)
+
+// Slot describes the contact arrival process of one time slot.
+type Slot struct {
+	// Interval is the distribution of the time between consecutive
+	// contact arrivals while the clock is inside this slot. A nil
+	// Interval means no contacts arrive in the slot.
+	Interval dist.Sampler
+	// Length is the distribution of contact lengths for contacts that
+	// begin in this slot.
+	Length dist.Sampler
+	// RushHour marks the slot as part of the engineered rush-hour mask
+	// ("1" slots in §VI.A).
+	RushHour bool
+}
+
+// Freq returns the slot's contact arrival frequency in contacts/second
+// (0 when the slot has no contacts).
+func (s Slot) Freq() float64 {
+	if s.Interval == nil || s.Interval.Mean() <= 0 {
+		return 0
+	}
+	return 1 / s.Interval.Mean()
+}
+
+// Scenario is a complete description of a deployment.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Epoch is the mobility pattern's period Tepoch.
+	Epoch simtime.Duration
+	// Slots partitions the epoch into len(Slots) equal time slots.
+	Slots []Slot
+	// Radio holds the SNIP model parameters (Ton).
+	Radio model.Config
+	// PhiMax is the per-epoch probing-energy budget (radio on-time, s).
+	PhiMax float64
+	// ZetaTarget is the per-epoch probed-capacity target (s).
+	ZetaTarget float64
+	// UploadRate is the data upload throughput during probed contact
+	// time, in bytes/second. It converts between the paper's
+	// capacity-seconds and buffered bytes.
+	UploadRate float64
+	// BeaconLossProb is the probability that a beacon transmitted within
+	// range is lost (0 in the paper's sparse-deployment assumption; used
+	// by the robustness ablation).
+	BeaconLossProb float64
+	// BufferCap bounds the sensor node's data buffer in bytes; oldest
+	// data is dropped first when full. Zero means unbounded. The paper
+	// motivates this with the "small memory of a sensor node" (§VIII).
+	BufferCap float64
+	// GroupProb is the probability that a contact arrives as a group:
+	// a second mobile node enters range at (almost) the same moment.
+	// The paper's reference model assumes at most one mobile node in
+	// range (§II) but notes the assumption "can be easily removed";
+	// GroupProb > 0 exercises that removal. Zero keeps the paper's
+	// assumption.
+	GroupProb float64
+	// Contention selects how the sensor handles several mobile nodes
+	// answering one beacon (only relevant when GroupProb > 0).
+	Contention ContentionPolicy
+}
+
+// ContentionPolicy is the sensor's strategy when multiple mobile nodes
+// answer a beacon (§II: choose "randomly or based on their radio signal
+// strength, movement speed, etc.").
+type ContentionPolicy int
+
+// Contention policies.
+const (
+	// ContentionResolve picks the mobile node whose contact lasts
+	// longest (the best capacity proxy a sensor can estimate) — the
+	// paper's suggested assumption removal. This is the zero-value
+	// default.
+	ContentionResolve ContentionPolicy = iota
+	// ContentionRandom picks uniformly among the answering nodes.
+	ContentionRandom
+	// ContentionNone models missing collision avoidance: overlapping
+	// acks collide and the beacon is wasted.
+	ContentionNone
+)
+
+// String returns the policy name.
+func (p ContentionPolicy) String() string {
+	switch p {
+	case ContentionResolve:
+		return "resolve"
+	case ContentionRandom:
+		return "random"
+	case ContentionNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// DefaultUploadRate is an effective application throughput for a
+// 250 kbit/s IEEE 802.15.4 radio after MAC overhead (~12.5 kB/s).
+const DefaultUploadRate = 12500.0
+
+// Validate reports the first problem with the scenario, or nil.
+func (sc *Scenario) Validate() error {
+	if sc.Epoch <= 0 {
+		return fmt.Errorf("scenario: epoch must be positive, got %v", sc.Epoch)
+	}
+	if len(sc.Slots) == 0 {
+		return errors.New("scenario: needs at least one slot")
+	}
+	if err := sc.Radio.Validate(); err != nil {
+		return err
+	}
+	for i, s := range sc.Slots {
+		if s.Interval != nil && s.Interval.Mean() <= 0 {
+			return fmt.Errorf("scenario: slot %d interval mean must be positive", i)
+		}
+		if s.Interval != nil && s.Length == nil {
+			return fmt.Errorf("scenario: slot %d has contacts but no length distribution", i)
+		}
+		if s.Length != nil && s.Length.Mean() <= 0 {
+			return fmt.Errorf("scenario: slot %d length mean must be positive", i)
+		}
+	}
+	if sc.PhiMax < 0 {
+		return fmt.Errorf("scenario: PhiMax must be non-negative, got %g", sc.PhiMax)
+	}
+	if sc.ZetaTarget < 0 {
+		return fmt.Errorf("scenario: ZetaTarget must be non-negative, got %g", sc.ZetaTarget)
+	}
+	if sc.UploadRate <= 0 {
+		return fmt.Errorf("scenario: UploadRate must be positive, got %g", sc.UploadRate)
+	}
+	if sc.BeaconLossProb < 0 || sc.BeaconLossProb >= 1 {
+		return fmt.Errorf("scenario: BeaconLossProb must be in [0, 1), got %g", sc.BeaconLossProb)
+	}
+	if sc.BufferCap < 0 {
+		return fmt.Errorf("scenario: BufferCap must be non-negative, got %g", sc.BufferCap)
+	}
+	if sc.GroupProb < 0 || sc.GroupProb >= 1 {
+		return fmt.Errorf("scenario: GroupProb must be in [0, 1), got %g", sc.GroupProb)
+	}
+	switch sc.Contention {
+	case ContentionResolve, ContentionRandom, ContentionNone:
+	default:
+		return fmt.Errorf("scenario: unknown contention policy %d", int(sc.Contention))
+	}
+	return nil
+}
+
+// Clock returns the epoch/slot clock of the scenario.
+func (sc *Scenario) Clock() (*simtime.Clock, error) {
+	return simtime.NewClock(sc.Epoch, len(sc.Slots))
+}
+
+// SlotLen returns the duration of one slot.
+func (sc *Scenario) SlotLen() simtime.Duration {
+	return sc.Epoch / simtime.Duration(len(sc.Slots))
+}
+
+// RushMask returns the engineered rush-hour mask as a bool per slot.
+func (sc *Scenario) RushMask() []bool {
+	mask := make([]bool, len(sc.Slots))
+	for i, s := range sc.Slots {
+		mask[i] = s.RushHour
+	}
+	return mask
+}
+
+// SlotProcesses converts the scenario to the analytical per-slot form
+// used by the model and optimizer packages.
+func (sc *Scenario) SlotProcesses() []model.SlotProcess {
+	out := make([]model.SlotProcess, len(sc.Slots))
+	slotLen := sc.SlotLen().Seconds()
+	for i, s := range sc.Slots {
+		out[i] = model.SlotProcess{
+			Duration: slotLen,
+			Freq:     s.Freq(),
+			Length:   s.Length,
+		}
+	}
+	return out
+}
+
+// TotalCapacity returns the contact capacity (seconds of contact)
+// arriving per epoch.
+func (sc *Scenario) TotalCapacity() float64 {
+	total := 0.0
+	for _, p := range sc.SlotProcesses() {
+		total += p.Capacity()
+	}
+	return total
+}
+
+// RushCapacity returns the contact capacity arriving per epoch inside
+// rush-hour slots.
+func (sc *Scenario) RushCapacity() float64 {
+	procs := sc.SlotProcesses()
+	total := 0.0
+	for i, p := range procs {
+		if sc.Slots[i].RushHour {
+			total += p.Capacity()
+		}
+	}
+	return total
+}
+
+// MeanContactLength returns the capacity-weighted mean contact length
+// across the epoch.
+func (sc *Scenario) MeanContactLength() float64 {
+	num, den := 0.0, 0.0
+	for _, s := range sc.Slots {
+		f := s.Freq()
+		if f <= 0 || s.Length == nil {
+			continue
+		}
+		num += f * s.Length.Mean()
+		den += f
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DataRate returns the sensing data generation rate (bytes/second) that
+// fills exactly ZetaTarget seconds of probed contact per epoch at the
+// scenario's upload rate — the paper's "constant rate derived from
+// zeta_target" (§VII.A.2).
+func (sc *Scenario) DataRate() float64 {
+	return sc.ZetaTarget * sc.UploadRate / sc.Epoch.Seconds()
+}
+
+// RoadsideOption customizes the canonical road-side scenario.
+type RoadsideOption func(*roadsideConfig)
+
+type roadsideConfig struct {
+	phiMaxFraction float64
+	zetaTarget     float64
+	fixedLengths   bool
+	uploadRate     float64
+	beaconLoss     float64
+	lengthMean     float64
+	rushInterval   float64
+	otherInterval  float64
+	bufferCap      float64
+	groupProb      float64
+	contention     ContentionPolicy
+}
+
+// WithBudgetFraction sets PhiMax to the given fraction of the epoch
+// (the paper uses 1/1000 and 1/100).
+func WithBudgetFraction(f float64) RoadsideOption {
+	return func(c *roadsideConfig) { c.phiMaxFraction = f }
+}
+
+// WithZetaTarget sets the probed-capacity target in seconds per epoch.
+func WithZetaTarget(z float64) RoadsideOption {
+	return func(c *roadsideConfig) { c.zetaTarget = z }
+}
+
+// WithFixedLengths switches contact intervals and lengths to the fixed
+// values of the paper's numerical analysis (§VII.A.1). The default is
+// the simulation setup: Normal(mu, mu/10) for both (§VII.A.2).
+func WithFixedLengths() RoadsideOption {
+	return func(c *roadsideConfig) { c.fixedLengths = true }
+}
+
+// WithUploadRate overrides the upload throughput in bytes/second.
+func WithUploadRate(rate float64) RoadsideOption {
+	return func(c *roadsideConfig) { c.uploadRate = rate }
+}
+
+// WithBeaconLoss sets the beacon loss probability for robustness
+// experiments.
+func WithBeaconLoss(p float64) RoadsideOption {
+	return func(c *roadsideConfig) { c.beaconLoss = p }
+}
+
+// WithContactLength overrides the mean contact length (default 2 s).
+func WithContactLength(mean float64) RoadsideOption {
+	return func(c *roadsideConfig) { c.lengthMean = mean }
+}
+
+// WithIntervals overrides the mean contact inter-arrival times for
+// rush-hour and other slots (defaults 300 s and 1800 s).
+func WithIntervals(rush, other float64) RoadsideOption {
+	return func(c *roadsideConfig) {
+		c.rushInterval = rush
+		c.otherInterval = other
+	}
+}
+
+// WithBufferCap bounds the sensor node's data buffer in bytes
+// (0 = unbounded).
+func WithBufferCap(bytes float64) RoadsideOption {
+	return func(c *roadsideConfig) { c.bufferCap = bytes }
+}
+
+// WithGroupArrivals makes a fraction of contacts arrive as groups of two
+// mobile nodes, resolved with the given contention policy.
+func WithGroupArrivals(prob float64, policy ContentionPolicy) RoadsideOption {
+	return func(c *roadsideConfig) {
+		c.groupProb = prob
+		c.contention = policy
+	}
+}
+
+// Roadside returns the paper's §VII.A road-side WSN scenario:
+// Tepoch = 24 h split into N = 24 hourly slots; rush hours 07:00–09:00
+// and 17:00–19:00 with Tinterval = 300 s; Tinterval = 1800 s elsewhere;
+// Tcontact = 2 s.
+func Roadside(opts ...RoadsideOption) *Scenario {
+	cfg := roadsideConfig{
+		phiMaxFraction: 1.0 / 1000,
+		zetaTarget:     24,
+		uploadRate:     DefaultUploadRate,
+		lengthMean:     2,
+		rushInterval:   300,
+		otherInterval:  1800,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mk := func(mean float64) dist.Sampler {
+		if cfg.fixedLengths {
+			return dist.Fixed{Value: mean}
+		}
+		return dist.NormalTenth(mean)
+	}
+	slots := make([]Slot, 24)
+	for i := range slots {
+		rush := (i >= 7 && i < 9) || (i >= 17 && i < 19)
+		interval := cfg.otherInterval
+		if rush {
+			interval = cfg.rushInterval
+		}
+		slots[i] = Slot{
+			Interval: mk(interval),
+			Length:   mk(cfg.lengthMean),
+			RushHour: rush,
+		}
+	}
+	return &Scenario{
+		Name:           "roadside",
+		Epoch:          simtime.Day,
+		Slots:          slots,
+		Radio:          model.DefaultConfig(),
+		PhiMax:         cfg.phiMaxFraction * simtime.Day.Seconds(),
+		ZetaTarget:     cfg.zetaTarget,
+		UploadRate:     cfg.uploadRate,
+		BeaconLossProb: cfg.beaconLoss,
+		BufferCap:      cfg.bufferCap,
+		GroupProb:      cfg.groupProb,
+		Contention:     cfg.contention,
+	}
+}
+
+// jsonScenario is the serialized form of a Scenario.
+type jsonScenario struct {
+	Name           string     `json:"name"`
+	EpochSeconds   float64    `json:"epochSeconds"`
+	Slots          []jsonSlot `json:"slots"`
+	TonSeconds     float64    `json:"tonSeconds"`
+	PhiMax         float64    `json:"phiMax"`
+	ZetaTarget     float64    `json:"zetaTarget"`
+	UploadRate     float64    `json:"uploadRate"`
+	BeaconLossProb float64    `json:"beaconLossProb,omitempty"`
+	BufferCap      float64    `json:"bufferCap,omitempty"`
+	GroupProb      float64    `json:"groupProb,omitempty"`
+	Contention     int        `json:"contention,omitempty"`
+}
+
+type jsonSlot struct {
+	Interval *dist.Spec `json:"interval,omitempty"`
+	Length   *dist.Spec `json:"length,omitempty"`
+	RushHour bool       `json:"rushHour,omitempty"`
+}
+
+// MarshalJSON serializes the scenario, including distribution specs.
+func (sc *Scenario) MarshalJSON() ([]byte, error) {
+	js := jsonScenario{
+		Name:           sc.Name,
+		EpochSeconds:   sc.Epoch.Seconds(),
+		TonSeconds:     sc.Radio.Ton,
+		PhiMax:         sc.PhiMax,
+		ZetaTarget:     sc.ZetaTarget,
+		UploadRate:     sc.UploadRate,
+		BeaconLossProb: sc.BeaconLossProb,
+		BufferCap:      sc.BufferCap,
+		GroupProb:      sc.GroupProb,
+		Contention:     int(sc.Contention),
+		Slots:          make([]jsonSlot, len(sc.Slots)),
+	}
+	for i, s := range sc.Slots {
+		var slot jsonSlot
+		slot.RushHour = s.RushHour
+		if s.Interval != nil {
+			spec, err := dist.SpecOf(s.Interval)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: slot %d interval: %w", i, err)
+			}
+			slot.Interval = &spec
+		}
+		if s.Length != nil {
+			spec, err := dist.SpecOf(s.Length)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: slot %d length: %w", i, err)
+			}
+			slot.Length = &spec
+		}
+		js.Slots[i] = slot
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON deserializes a scenario produced by MarshalJSON.
+func (sc *Scenario) UnmarshalJSON(data []byte) error {
+	var js jsonScenario
+	if err := json.Unmarshal(data, &js); err != nil {
+		return fmt.Errorf("scenario: decode: %w", err)
+	}
+	out := Scenario{
+		Name:           js.Name,
+		Epoch:          simtime.Duration(js.EpochSeconds),
+		Radio:          model.Config{Ton: js.TonSeconds},
+		PhiMax:         js.PhiMax,
+		ZetaTarget:     js.ZetaTarget,
+		UploadRate:     js.UploadRate,
+		BeaconLossProb: js.BeaconLossProb,
+		BufferCap:      js.BufferCap,
+		GroupProb:      js.GroupProb,
+		Contention:     ContentionPolicy(js.Contention),
+		Slots:          make([]Slot, len(js.Slots)),
+	}
+	for i, s := range js.Slots {
+		var slot Slot
+		slot.RushHour = s.RushHour
+		if s.Interval != nil {
+			sampler, err := s.Interval.Build()
+			if err != nil {
+				return fmt.Errorf("scenario: slot %d interval: %w", i, err)
+			}
+			slot.Interval = sampler
+		}
+		if s.Length != nil {
+			sampler, err := s.Length.Build()
+			if err != nil {
+				return fmt.Errorf("scenario: slot %d length: %w", i, err)
+			}
+			slot.Length = sampler
+		}
+		out.Slots[i] = slot
+	}
+	*sc = out
+	return nil
+}

@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/model"
+	"rushprobe/internal/simtime"
+)
+
+func TestRoadsideDefaults(t *testing.T) {
+	sc := Roadside()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("default roadside invalid: %v", err)
+	}
+	if sc.Epoch != simtime.Day {
+		t.Errorf("epoch = %v, want 24h", sc.Epoch)
+	}
+	if len(sc.Slots) != 24 {
+		t.Fatalf("slots = %d, want 24", len(sc.Slots))
+	}
+	rushCount := 0
+	for i, s := range sc.Slots {
+		wantRush := (i >= 7 && i < 9) || (i >= 17 && i < 19)
+		if s.RushHour != wantRush {
+			t.Errorf("slot %d RushHour = %v, want %v", i, s.RushHour, wantRush)
+		}
+		if s.RushHour {
+			rushCount++
+			if got := s.Interval.Mean(); got != 300 {
+				t.Errorf("rush slot %d interval mean = %v, want 300", i, got)
+			}
+		} else if got := s.Interval.Mean(); got != 1800 {
+			t.Errorf("other slot %d interval mean = %v, want 1800", i, got)
+		}
+		if got := s.Length.Mean(); got != 2 {
+			t.Errorf("slot %d length mean = %v, want 2", i, got)
+		}
+	}
+	if rushCount != 4 {
+		t.Errorf("rush slots = %d, want 4", rushCount)
+	}
+	if got, want := sc.PhiMax, 86.4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("PhiMax = %v, want %v (Tepoch/1000)", got, want)
+	}
+}
+
+func TestRoadsideCapacities(t *testing.T) {
+	sc := Roadside()
+	// 48 rush contacts + 40 off-peak contacts, 2s each.
+	if got, want := sc.TotalCapacity(), 176.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("TotalCapacity = %v, want %v", got, want)
+	}
+	if got, want := sc.RushCapacity(), 96.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("RushCapacity = %v, want %v", got, want)
+	}
+	if got := sc.MeanContactLength(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("MeanContactLength = %v, want 2", got)
+	}
+}
+
+func TestRoadsideOptions(t *testing.T) {
+	sc := Roadside(
+		WithBudgetFraction(1.0/100),
+		WithZetaTarget(56),
+		WithFixedLengths(),
+		WithUploadRate(1000),
+		WithBeaconLoss(0.1),
+		WithContactLength(4),
+		WithIntervals(150, 900),
+	)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if math.Abs(sc.PhiMax-864) > 1e-9 {
+		t.Errorf("PhiMax = %v, want 864", sc.PhiMax)
+	}
+	if sc.ZetaTarget != 56 {
+		t.Errorf("ZetaTarget = %v, want 56", sc.ZetaTarget)
+	}
+	if sc.UploadRate != 1000 {
+		t.Errorf("UploadRate = %v", sc.UploadRate)
+	}
+	if sc.BeaconLossProb != 0.1 {
+		t.Errorf("BeaconLossProb = %v", sc.BeaconLossProb)
+	}
+	if _, ok := sc.Slots[0].Interval.(dist.Fixed); !ok {
+		t.Errorf("WithFixedLengths should give fixed intervals, got %T", sc.Slots[0].Interval)
+	}
+	if got := sc.Slots[7].Interval.Mean(); got != 150 {
+		t.Errorf("rush interval = %v, want 150", got)
+	}
+	if got := sc.Slots[0].Interval.Mean(); got != 900 {
+		t.Errorf("other interval = %v, want 900", got)
+	}
+	if got := sc.Slots[0].Length.Mean(); got != 4 {
+		t.Errorf("length mean = %v, want 4", got)
+	}
+}
+
+func TestValidateRejectsBadScenarios(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{name: "zero epoch", mutate: func(sc *Scenario) { sc.Epoch = 0 }},
+		{name: "no slots", mutate: func(sc *Scenario) { sc.Slots = nil }},
+		{name: "bad radio", mutate: func(sc *Scenario) { sc.Radio.Ton = 0 }},
+		{name: "contacts without length", mutate: func(sc *Scenario) { sc.Slots[0].Length = nil }},
+		{name: "zero interval mean", mutate: func(sc *Scenario) { sc.Slots[0].Interval = dist.Fixed{Value: 0} }},
+		{name: "zero length mean", mutate: func(sc *Scenario) { sc.Slots[0].Length = dist.Fixed{} }},
+		{name: "negative budget", mutate: func(sc *Scenario) { sc.PhiMax = -1 }},
+		{name: "negative target", mutate: func(sc *Scenario) { sc.ZetaTarget = -1 }},
+		{name: "zero upload rate", mutate: func(sc *Scenario) { sc.UploadRate = 0 }},
+		{name: "beacon loss one", mutate: func(sc *Scenario) { sc.BeaconLossProb = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sc := Roadside()
+			tt.mutate(sc)
+			if err := sc.Validate(); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+}
+
+func TestSlotFreq(t *testing.T) {
+	s := Slot{Interval: dist.Fixed{Value: 300}}
+	if got := s.Freq(); math.Abs(got-1.0/300) > 1e-15 {
+		t.Errorf("Freq = %v, want 1/300", got)
+	}
+	var empty Slot
+	if empty.Freq() != 0 {
+		t.Error("empty slot should have zero frequency")
+	}
+}
+
+func TestSlotProcessesMatchScenario(t *testing.T) {
+	sc := Roadside(WithFixedLengths())
+	procs := sc.SlotProcesses()
+	if len(procs) != 24 {
+		t.Fatalf("got %d processes", len(procs))
+	}
+	for i, p := range procs {
+		if p.Duration != 3600 {
+			t.Errorf("slot %d duration = %v", i, p.Duration)
+		}
+		wantFreq := 1.0 / 1800
+		if sc.Slots[i].RushHour {
+			wantFreq = 1.0 / 300
+		}
+		if math.Abs(p.Freq-wantFreq) > 1e-15 {
+			t.Errorf("slot %d freq = %v, want %v", i, p.Freq, wantFreq)
+		}
+	}
+}
+
+func TestDataRate(t *testing.T) {
+	sc := Roadside(WithZetaTarget(24), WithUploadRate(12500))
+	// 24 s of upload per day at 12500 B/s = 300000 B/day.
+	want := 300000.0 / 86400
+	if got := sc.DataRate(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DataRate = %v, want %v", got, want)
+	}
+}
+
+func TestClockAndMask(t *testing.T) {
+	sc := Roadside()
+	clk, err := sc.Clock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clk.Slots() != 24 || clk.Epoch() != simtime.Day {
+		t.Errorf("clock = %d slots, epoch %v", clk.Slots(), clk.Epoch())
+	}
+	mask := sc.RushMask()
+	if !mask[7] || !mask[8] || !mask[17] || !mask[18] {
+		t.Errorf("mask misses rush hours: %v", mask)
+	}
+	if mask[0] || mask[12] || mask[23] {
+		t.Errorf("mask marks non-rush hours: %v", mask)
+	}
+	if sc.SlotLen() != simtime.Hour {
+		t.Errorf("SlotLen = %v, want 1h", sc.SlotLen())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Roadside(WithZetaTarget(40), WithBeaconLoss(0.05))
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped scenario invalid: %v", err)
+	}
+	if back.Name != orig.Name || back.Epoch != orig.Epoch || back.ZetaTarget != orig.ZetaTarget {
+		t.Error("scalar fields did not round-trip")
+	}
+	if back.BeaconLossProb != 0.05 {
+		t.Errorf("BeaconLossProb = %v", back.BeaconLossProb)
+	}
+	if len(back.Slots) != len(orig.Slots) {
+		t.Fatalf("slots = %d, want %d", len(back.Slots), len(orig.Slots))
+	}
+	for i := range back.Slots {
+		if back.Slots[i].RushHour != orig.Slots[i].RushHour {
+			t.Errorf("slot %d rush flag mismatch", i)
+		}
+		if math.Abs(back.Slots[i].Interval.Mean()-orig.Slots[i].Interval.Mean()) > 1e-9 {
+			t.Errorf("slot %d interval mean mismatch", i)
+		}
+	}
+	if back.Radio.Ton != orig.Radio.Ton {
+		t.Errorf("Ton = %v, want %v", back.Radio.Ton, orig.Radio.Ton)
+	}
+}
+
+func TestJSONEmptySlot(t *testing.T) {
+	sc := &Scenario{
+		Name:       "sparse",
+		Epoch:      simtime.Hour,
+		Slots:      []Slot{{}, {Interval: dist.Fixed{Value: 60}, Length: dist.Fixed{Value: 2}}},
+		Radio:      model.DefaultConfig(),
+		UploadRate: 100,
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("scenario with empty slot should validate: %v", err)
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Slots[0].Interval != nil {
+		t.Error("empty slot interval should stay nil")
+	}
+	if back.Slots[1].Interval.Mean() != 60 {
+		t.Error("non-empty slot lost its interval")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var sc Scenario
+	if err := json.Unmarshal([]byte(`{"slots":[{"interval":{"kind":"nope"}}]}`), &sc); err == nil {
+		t.Error("unknown distribution kind should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &sc); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"rushprobe/internal/simtime"
+)
+
+// dataBuffer is the sensor node's report queue. Sensed data accrues at a
+// constant rate (the paper's "sensed data is generated with a constant
+// rate derived from zeta_target", §VII.A.2) and drains FIFO during
+// probed contacts. Tracking chunk timestamps gives per-byte delivery
+// latency — the cost side of the delay-tolerance trade-off the paper's
+// introduction discusses — and an optional capacity bound models the
+// small memory of a real sensor node (old data is dropped first, since
+// redeployments value fresh readings).
+type dataBuffer struct {
+	rate     float64 // bytes per second of sensing
+	capBytes float64 // 0 = unbounded
+	chunks   []bufChunk
+	last     simtime.Instant
+	total    float64 // bytes currently buffered
+	dropped  float64 // bytes discarded due to overflow (epoch scope)
+}
+
+type bufChunk struct {
+	born  simtime.Instant
+	bytes float64
+}
+
+func newDataBuffer(rate, capBytes float64) *dataBuffer {
+	return &dataBuffer{rate: rate, capBytes: capBytes}
+}
+
+// accrue brings the buffer up to date and returns the buffered volume.
+func (b *dataBuffer) accrue(now simtime.Instant) float64 {
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return b.total
+	}
+	grown := b.rate * dt
+	b.last = now
+	if grown <= 0 {
+		return b.total
+	}
+	// Attribute the chunk's birth to the interval midpoint: the data
+	// accrued continuously, so the midpoint keeps latency unbiased.
+	mid := now.Add(simtime.Duration(-dt / 2))
+	b.chunks = append(b.chunks, bufChunk{born: mid, bytes: grown})
+	b.total += grown
+	b.enforceCap()
+	return b.total
+}
+
+// enforceCap drops the oldest data when over capacity.
+func (b *dataBuffer) enforceCap() {
+	if b.capBytes <= 0 {
+		return
+	}
+	for b.total > b.capBytes && len(b.chunks) > 0 {
+		over := b.total - b.capBytes
+		head := &b.chunks[0]
+		if head.bytes <= over {
+			b.total -= head.bytes
+			b.dropped += head.bytes
+			b.chunks = b.chunks[1:]
+			continue
+		}
+		head.bytes -= over
+		b.total -= over
+		b.dropped += over
+	}
+}
+
+// drain removes up to want bytes FIFO and returns the bytes removed and
+// their byte-weighted mean delivery latency at time now.
+func (b *dataBuffer) drain(now simtime.Instant, want float64) (got float64, meanLatency float64) {
+	if want <= 0 || b.total <= 0 {
+		return 0, 0
+	}
+	var latencyWeighted float64
+	for want > 0 && len(b.chunks) > 0 {
+		head := &b.chunks[0]
+		take := head.bytes
+		if take > want {
+			take = want
+		}
+		latency := now.Sub(head.born).Seconds()
+		if latency < 0 {
+			latency = 0
+		}
+		latencyWeighted += latency * take
+		got += take
+		want -= take
+		head.bytes -= take
+		b.total -= take
+		if head.bytes <= 1e-12 {
+			b.chunks = b.chunks[1:]
+		}
+	}
+	if got > 0 {
+		meanLatency = latencyWeighted / got
+	}
+	return got, meanLatency
+}
+
+// level returns the buffered volume without accruing.
+func (b *dataBuffer) level() float64 { return b.total }
+
+// oldestAge returns the age of the oldest buffered byte, or 0 when
+// empty.
+func (b *dataBuffer) oldestAge(now simtime.Instant) float64 {
+	if len(b.chunks) == 0 {
+		return 0
+	}
+	age := now.Sub(b.chunks[0].born).Seconds()
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+// takeDropped returns and clears the dropped-byte counter.
+func (b *dataBuffer) takeDropped() float64 {
+	d := b.dropped
+	b.dropped = 0
+	return d
+}

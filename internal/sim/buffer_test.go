@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rushprobe/internal/simtime"
+)
+
+func TestBufferAccrues(t *testing.T) {
+	b := newDataBuffer(10, 0) // 10 B/s, unbounded
+	if got := b.accrue(0); got != 0 {
+		t.Errorf("at t=0: %v", got)
+	}
+	if got := b.accrue(5); math.Abs(got-50) > 1e-9 {
+		t.Errorf("at t=5: %v, want 50", got)
+	}
+	if got := b.accrue(5); math.Abs(got-50) > 1e-9 {
+		t.Errorf("repeat accrual must be idempotent: %v", got)
+	}
+	if got := b.accrue(3); math.Abs(got-50) > 1e-9 {
+		t.Errorf("time going backwards must not shrink the buffer: %v", got)
+	}
+}
+
+func TestBufferDrainFIFO(t *testing.T) {
+	b := newDataBuffer(10, 0)
+	b.accrue(10) // one chunk: 100 bytes born at t=5 (midpoint)
+	got, lat := b.drain(15, 60)
+	if math.Abs(got-60) > 1e-9 {
+		t.Errorf("drained %v, want 60", got)
+	}
+	// The chunk was born at the interval midpoint t=5; latency = 10.
+	if math.Abs(lat-10) > 1e-9 {
+		t.Errorf("latency = %v, want 10", lat)
+	}
+	if math.Abs(b.level()-40) > 1e-9 {
+		t.Errorf("level = %v, want 40", b.level())
+	}
+}
+
+func TestBufferDrainAcrossChunks(t *testing.T) {
+	b := newDataBuffer(10, 0)
+	b.accrue(10) // chunk A: 100 B born t=5
+	b.accrue(20) // chunk B: 100 B born t=15
+	got, lat := b.drain(20, 150)
+	if math.Abs(got-150) > 1e-9 {
+		t.Errorf("drained %v, want 150", got)
+	}
+	// 100 B at latency 15 plus 50 B at latency 5 -> mean (1500+250)/150.
+	want := (100*15.0 + 50*5.0) / 150
+	if math.Abs(lat-want) > 1e-9 {
+		t.Errorf("latency = %v, want %v", lat, want)
+	}
+}
+
+func TestBufferDrainMoreThanAvailable(t *testing.T) {
+	b := newDataBuffer(10, 0)
+	b.accrue(10)
+	got, _ := b.drain(10, 1e6)
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("got %v, want all 100", got)
+	}
+	if b.level() != 0 {
+		t.Errorf("level = %v, want 0", b.level())
+	}
+	got, lat := b.drain(11, 10)
+	if got != 0 || lat != 0 {
+		t.Errorf("draining empty buffer: %v, %v", got, lat)
+	}
+}
+
+func TestBufferCapDropsOldest(t *testing.T) {
+	b := newDataBuffer(10, 150)
+	b.accrue(10) // 100 B born t=5
+	b.accrue(20) // +100 B born t=15 -> 200 > cap -> drop 50 oldest
+	if math.Abs(b.level()-150) > 1e-9 {
+		t.Errorf("level = %v, want cap 150", b.level())
+	}
+	if math.Abs(b.takeDropped()-50) > 1e-9 {
+		t.Error("expected 50 dropped bytes")
+	}
+	if b.takeDropped() != 0 {
+		t.Error("takeDropped must clear the counter")
+	}
+	// Remaining oldest data is the tail of chunk A.
+	_, lat := b.drain(20, 50)
+	if math.Abs(lat-15) > 1e-9 {
+		t.Errorf("oldest remaining latency = %v, want 15", lat)
+	}
+}
+
+func TestBufferOldestAge(t *testing.T) {
+	b := newDataBuffer(10, 0)
+	if b.oldestAge(100) != 0 {
+		t.Error("empty buffer has no age")
+	}
+	b.accrue(10)
+	if got := b.oldestAge(25); math.Abs(got-20) > 1e-9 {
+		t.Errorf("oldest age = %v, want 20", got)
+	}
+}
+
+func TestBufferZeroRate(t *testing.T) {
+	b := newDataBuffer(0, 0)
+	if got := b.accrue(100); got != 0 {
+		t.Errorf("zero-rate buffer should stay empty, got %v", got)
+	}
+}
+
+// Property: conservation — accrued = drained + level + dropped.
+func TestBufferConservationProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		b := newDataBuffer(7, 500)
+		now := simtime.Instant(0)
+		var drained, accruedTime float64
+		for _, s := range steps {
+			dt := float64(s%40) + 1
+			now = now.Add(simtime.Duration(dt))
+			accruedTime += dt
+			b.accrue(now)
+			if s%3 == 0 {
+				got, _ := b.drain(now, float64(s)*2)
+				drained += got
+			}
+		}
+		b.accrue(now)
+		total := 7 * accruedTime
+		sum := drained + b.level() + b.dropped
+		return math.Abs(total-sum) < 1e-6*math.Max(1, total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: latency reported by drain is never negative and never
+// exceeds the buffer's oldest age.
+func TestBufferLatencyBoundsProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		b := newDataBuffer(5, 0)
+		now := simtime.Instant(0)
+		for _, s := range steps {
+			now = now.Add(simtime.Duration(s%30) + 1)
+			b.accrue(now)
+			maxAge := b.oldestAge(now)
+			got, lat := b.drain(now, float64(s))
+			if got > 0 && (lat < 0 || lat > maxAge+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package simtime provides the time base used throughout the simulator.
+//
+// Simulated time is continuous: instants and durations are float64 seconds.
+// This keeps contact-probing arithmetic (fractional beacon offsets, partial
+// overlaps) exact to machine precision and avoids the nanosecond
+// quantization of time.Duration inside tight analytical loops. Conversions
+// to and from the standard library's time.Duration are provided for API
+// boundaries, per the project style guide's "use time to handle time" rule.
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+type (
+	// Instant is a point in simulated time, in seconds since the start of
+	// the simulation.
+	Instant float64
+
+	// Duration is a span of simulated time in seconds.
+	Duration float64
+)
+
+// Common durations.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 86400
+)
+
+// Never is an instant later than any instant a simulation will reach. It is
+// used as the deadline of timers that are logically disabled.
+const Never Instant = math.MaxFloat64
+
+// FromStd converts a standard library duration to a simulated duration.
+func FromStd(d time.Duration) Duration {
+	return Duration(d.Seconds())
+}
+
+// Std converts d to a standard library duration, saturating at the
+// representable range.
+func (d Duration) Std() time.Duration {
+	sec := float64(d)
+	if sec > math.MaxInt64/1e9 {
+		return time.Duration(math.MaxInt64)
+	}
+	if sec < math.MinInt64/1e9 {
+		return time.Duration(math.MinInt64)
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Seconds reports the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String formats the duration in a compact human-readable form.
+func (d Duration) String() string {
+	switch {
+	case d >= Day:
+		return fmt.Sprintf("%.3gd", float64(d/Day))
+	case d >= Hour:
+		return fmt.Sprintf("%.3gh", float64(d/Hour))
+	case d >= Minute:
+		return fmt.Sprintf("%.3gm", float64(d/Minute))
+	default:
+		return fmt.Sprintf("%.4gs", float64(d))
+	}
+}
+
+// Add returns the instant d after t.
+func (t Instant) Add(d Duration) Instant { return t + Instant(d) }
+
+// Sub returns the duration from u to t.
+func (t Instant) Sub(u Instant) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Instant) Before(u Instant) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Instant) After(u Instant) bool { return t > u }
+
+// Seconds reports the instant as seconds since simulation start.
+func (t Instant) Seconds() float64 { return float64(t) }
+
+// String formats the instant as seconds.
+func (t Instant) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("t=%.4gs", float64(t))
+}
+
+// Clock partitions simulated time into fixed-length epochs, each divided
+// into N equal slots. It implements the paper's notion of an epoch of the
+// mobility pattern (Tepoch) split into time-slots t1..tN (§V, §VI.A).
+//
+// The zero value is not usable; construct with NewClock.
+type Clock struct {
+	epoch Duration
+	slots int
+	slot  Duration
+}
+
+// NewClock returns a Clock with the given epoch length divided into n
+// equal slots. It returns an error if the parameters are not positive.
+func NewClock(epoch Duration, n int) (*Clock, error) {
+	if epoch <= 0 {
+		return nil, fmt.Errorf("simtime: epoch length must be positive, got %v", epoch)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("simtime: slot count must be positive, got %d", n)
+	}
+	return &Clock{epoch: epoch, slots: n, slot: epoch / Duration(n)}, nil
+}
+
+// Epoch returns the epoch length Tepoch.
+func (c *Clock) Epoch() Duration { return c.epoch }
+
+// Slots returns the number of slots N per epoch.
+func (c *Clock) Slots() int { return c.slots }
+
+// SlotLen returns the length of one slot.
+func (c *Clock) SlotLen() Duration { return c.slot }
+
+// EpochIndex returns the zero-based index of the epoch containing t.
+func (c *Clock) EpochIndex(t Instant) int {
+	return int(math.Floor(float64(t) / float64(c.epoch)))
+}
+
+// SlotIndex returns the zero-based index within the epoch of the slot
+// containing t. The result is always in [0, Slots()).
+func (c *Clock) SlotIndex(t Instant) int {
+	off := math.Mod(float64(t), float64(c.epoch))
+	if off < 0 {
+		off += float64(c.epoch)
+	}
+	i := int(off / float64(c.slot))
+	if i >= c.slots { // guard against floating-point edge at epoch boundary
+		i = c.slots - 1
+	}
+	return i
+}
+
+// EpochStart returns the start instant of the epoch containing t.
+func (c *Clock) EpochStart(t Instant) Instant {
+	return Instant(float64(c.EpochIndex(t)) * float64(c.epoch))
+}
+
+// SlotStart returns the start instant of the slot containing t.
+func (c *Clock) SlotStart(t Instant) Instant {
+	return c.EpochStart(t).Add(Duration(c.SlotIndex(t)) * c.slot)
+}
+
+// NextSlotStart returns the first slot boundary strictly after t.
+func (c *Clock) NextSlotStart(t Instant) Instant {
+	s := c.SlotStart(t).Add(c.slot)
+	if !s.After(t) {
+		s = s.Add(c.slot)
+	}
+	return s
+}
+
+// EpochOffset returns the duration from the start of t's epoch to t.
+func (c *Clock) EpochOffset(t Instant) Duration {
+	return t.Sub(c.EpochStart(t))
+}

@@ -1,0 +1,206 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewClockValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		epoch   Duration
+		slots   int
+		wantErr bool
+	}{
+		{name: "valid", epoch: Day, slots: 24},
+		{name: "zero epoch", epoch: 0, slots: 24, wantErr: true},
+		{name: "negative epoch", epoch: -1, slots: 24, wantErr: true},
+		{name: "zero slots", epoch: Day, slots: 0, wantErr: true},
+		{name: "negative slots", epoch: Day, slots: -3, wantErr: true},
+		{name: "single slot", epoch: Hour, slots: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := NewClock(tt.epoch, tt.slots)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("NewClock(%v, %d) = %v, want error", tt.epoch, tt.slots, c)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewClock(%v, %d) unexpected error: %v", tt.epoch, tt.slots, err)
+			}
+		})
+	}
+}
+
+func TestClockSlotArithmetic(t *testing.T) {
+	c, err := NewClock(Day, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name      string
+		at        Instant
+		wantEpoch int
+		wantSlot  int
+	}{
+		{name: "origin", at: 0, wantEpoch: 0, wantSlot: 0},
+		{name: "one second in", at: 1, wantEpoch: 0, wantSlot: 0},
+		{name: "7am", at: Instant(7 * Hour), wantEpoch: 0, wantSlot: 7},
+		{name: "last slot", at: Instant(23*Hour + 30*Minute), wantEpoch: 0, wantSlot: 23},
+		{name: "second epoch", at: Instant(Day + 2*Hour), wantEpoch: 1, wantSlot: 2},
+		{name: "tenth epoch boundary", at: Instant(10 * Day), wantEpoch: 10, wantSlot: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.EpochIndex(tt.at); got != tt.wantEpoch {
+				t.Errorf("EpochIndex(%v) = %d, want %d", tt.at, got, tt.wantEpoch)
+			}
+			if got := c.SlotIndex(tt.at); got != tt.wantSlot {
+				t.Errorf("SlotIndex(%v) = %d, want %d", tt.at, got, tt.wantSlot)
+			}
+		})
+	}
+}
+
+func TestClockSlotStart(t *testing.T) {
+	c, err := NewClock(Day, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := Instant(Day + 7*Hour + 42*Minute)
+	if got, want := c.SlotStart(at), Instant(Day+7*Hour); got != want {
+		t.Errorf("SlotStart(%v) = %v, want %v", at, got, want)
+	}
+	if got, want := c.EpochStart(at), Instant(Day); got != want {
+		t.Errorf("EpochStart(%v) = %v, want %v", at, got, want)
+	}
+	if got, want := c.NextSlotStart(at), Instant(Day+8*Hour); got != want {
+		t.Errorf("NextSlotStart(%v) = %v, want %v", at, got, want)
+	}
+	// Exactly on a boundary: next slot start must be strictly later.
+	b := Instant(Day + 8*Hour)
+	if got, want := c.NextSlotStart(b), Instant(Day+9*Hour); got != want {
+		t.Errorf("NextSlotStart(boundary %v) = %v, want %v", b, got, want)
+	}
+}
+
+func TestClockEpochOffset(t *testing.T) {
+	c, err := NewClock(Day, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := Instant(3*Day + 90)
+	if got, want := c.EpochOffset(at), Duration(90); got != want {
+		t.Errorf("EpochOffset(%v) = %v, want %v", at, got, want)
+	}
+}
+
+func TestDurationStdRoundTrip(t *testing.T) {
+	tests := []struct {
+		give time.Duration
+	}{
+		{give: time.Second},
+		{give: 1500 * time.Millisecond},
+		{give: time.Hour},
+		{give: 20 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		d := FromStd(tt.give)
+		if got := d.Std(); got != tt.give {
+			t.Errorf("FromStd(%v).Std() = %v, want %v", tt.give, got, tt.give)
+		}
+	}
+}
+
+func TestDurationStdSaturates(t *testing.T) {
+	huge := Duration(math.MaxFloat64)
+	if got := huge.Std(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("huge.Std() = %v, want max", got)
+	}
+	negHuge := Duration(-math.MaxFloat64)
+	if got := negHuge.Std(); got != time.Duration(math.MinInt64) {
+		t.Errorf("negHuge.Std() = %v, want min", got)
+	}
+}
+
+func TestInstantArithmetic(t *testing.T) {
+	a := Instant(10)
+	b := a.Add(5)
+	if b != 15 {
+		t.Errorf("Add: got %v, want 15", b)
+	}
+	if d := b.Sub(a); d != 5 {
+		t.Errorf("Sub: got %v, want 5", d)
+	}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before ordering wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After ordering wrong")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		give Duration
+		want string
+	}{
+		{give: 2, want: "2s"},
+		{give: 90, want: "1.5m"},
+		{give: 2 * Hour, want: "2h"},
+		{give: 3 * Day, want: "3d"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Duration(%v).String() = %q, want %q", float64(tt.give), got, tt.want)
+		}
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+	if got := Instant(1.5).String(); got != "t=1.5s" {
+		t.Errorf("Instant(1.5).String() = %q", got)
+	}
+}
+
+// Property: for any time in any epoch, SlotIndex is within range and the
+// slot's start is never after the queried instant.
+func TestSlotIndexInRangeProperty(t *testing.T) {
+	c, err := NewClock(Day, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		at := Instant(float64(raw) * 0.37) // spans many epochs
+		i := c.SlotIndex(at)
+		if i < 0 || i >= c.Slots() {
+			return false
+		}
+		start := c.SlotStart(at)
+		return !start.After(at) && at.Sub(start) <= c.SlotLen()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: epoch offset is always in [0, epoch].
+func TestEpochOffsetRangeProperty(t *testing.T) {
+	c, err := NewClock(Hour, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		at := Instant(float64(raw) * 1.13)
+		off := c.EpochOffset(at)
+		return off >= 0 && off <= c.Epoch()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMASeedsWithFirstSample(t *testing.T) {
+	e := NewEWMA(0.1)
+	if e.Seeded() {
+		t.Fatal("fresh EWMA must be unseeded")
+	}
+	e.Observe(2.0)
+	if !e.Seeded() {
+		t.Fatal("EWMA should be seeded after first sample")
+	}
+	if e.Value() != 2.0 {
+		t.Errorf("first sample should initialize directly, got %v", e.Value())
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Observe(0)
+	for i := 0; i < 200; i++ {
+		e.Observe(5.0)
+	}
+	if math.Abs(e.Value()-5.0) > 1e-6 {
+		t.Errorf("EWMA should converge to 5, got %v", e.Value())
+	}
+}
+
+func TestEWMASmoothsNoise(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Observe(2.0)
+	// One outlier moves the estimate by only alpha of the gap.
+	e.Observe(10.0)
+	want := 2.0 + 0.1*(10.0-2.0)
+	if math.Abs(e.Value()-want) > 1e-12 {
+		t.Errorf("after outlier got %v, want %v", e.Value(), want)
+	}
+}
+
+func TestEWMAClampsAlpha(t *testing.T) {
+	e := NewEWMA(-1)
+	e.Observe(1)
+	e.Observe(2)
+	if e.Value() <= 1 || e.Value() >= 2 {
+		t.Errorf("clamped alpha should still move estimate, got %v", e.Value())
+	}
+	e2 := NewEWMA(7) // clamps to 1: tracks the latest sample exactly
+	e2.Observe(1)
+	e2.Observe(9)
+	if e2.Value() != 9 {
+		t.Errorf("alpha=1 should track last sample, got %v", e2.Value())
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(3)
+	e.Reset()
+	if e.Seeded() || e.Value() != 0 || e.Count() != 0 {
+		t.Error("Reset should clear all state")
+	}
+}
+
+func TestWelfordMatchesClosedForm(t *testing.T) {
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range data {
+		w.Observe(v)
+	}
+	if got, want := w.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// Unbiased sample variance of the data set is 32/7.
+	if got, want := w.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("empty Welford should be all zeros")
+	}
+	w.Observe(5)
+	if w.Variance() != 0 {
+		t.Error("single sample variance must be 0")
+	}
+	if w.Mean() != 5 {
+		t.Errorf("single sample mean = %v", w.Mean())
+	}
+}
+
+func TestWelfordCI95ShrinksWithN(t *testing.T) {
+	var w10, w1000 Welford
+	vals := []float64{1, 2, 3, 4, 5}
+	for i := 0; i < 10; i++ {
+		w10.Observe(vals[i%len(vals)])
+	}
+	for i := 0; i < 1000; i++ {
+		w1000.Observe(vals[i%len(vals)])
+	}
+	if w1000.CI95() >= w10.CI95() {
+		t.Errorf("CI95 should shrink with n: n=10 gives %v, n=1000 gives %v", w10.CI95(), w1000.CI95())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Observe(v)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 {
+		t.Errorf("underflow = %d, want 1", under)
+	}
+	if over != 2 {
+		t.Errorf("overflow = %d, want 2", over)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if got := h.Bin(0); got != 2 { // 0 and 1.9
+		t.Errorf("bin 0 = %d, want 2", got)
+	}
+	if got := h.Bin(1); got != 1 { // 2
+		t.Errorf("bin 1 = %d, want 1", got)
+	}
+	if got := h.Bin(4); got != 1 { // 9.99
+		t.Errorf("bin 4 = %d, want 1", got)
+	}
+	if got, want := h.BinCenter(0), 1.0; got != want {
+		t.Errorf("BinCenter(0) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(10, 10, 4); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, err := NewHistogram(0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fractions() != nil {
+		t.Error("empty histogram fractions should be nil")
+	}
+	for _, v := range []float64{0.5, 1.5, 1.6, 3.5} {
+		h.Observe(v)
+	}
+	fr := h.Fractions()
+	want := []float64{0.25, 0.5, 0, 0.25}
+	for i := range want {
+		if math.Abs(fr[i]-want[i]) > 1e-12 {
+			t.Errorf("fraction[%d] = %v, want %v", i, fr[i], want[i])
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sample := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 0.25, want: 2},
+		{q: 0.5, want: 3},
+		{q: 1, want: 5},
+		{q: -0.5, want: 1},
+		{q: 1.5, want: 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sample, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(q=%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+	// Quantile must not mutate its input.
+	if sample[0] != 5 {
+		t.Error("Quantile mutated the caller's slice")
+	}
+}
+
+func TestMeanAndSum(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %v, want 4", got)
+	}
+}
+
+// Property: Welford's mean equals the arithmetic mean for arbitrary
+// samples.
+func TestWelfordMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				clean = append(clean, v)
+			}
+		}
+		var w Welford
+		for _, v := range clean {
+			w.Observe(v)
+		}
+		return math.Abs(w.Mean()-Mean(clean)) <= 1e-6*math.Max(1, math.Abs(Mean(clean)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total in-range + out-of-range counts equal Count().
+func TestHistogramCountProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, err := NewHistogram(0, 100, 10)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Observe(v)
+		}
+		total := 0
+		for i := 0; i < h.NumBins(); i++ {
+			total += h.Bin(i)
+		}
+		under, over := h.OutOfRange()
+		return total+under+over == h.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EWMA stays within the min/max envelope of its inputs.
+func TestEWMAEnvelopeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		e := NewEWMA(0.1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			e.Observe(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if !e.Seeded() {
+			return true
+		}
+		return e.Value() >= lo-1e-9 && e.Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

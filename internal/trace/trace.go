@@ -1,0 +1,177 @@
+// Package trace reads, writes, and summarizes contact traces.
+//
+// A trace is the ground-truth list of encounters between the mobile node
+// and a sensor node. Traces can be generated synthetically (package
+// contact), saved to CSV for inspection or replay, and summarized per
+// slot — the per-slot summary is what a rush-hour learner consumes.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"rushprobe/internal/contact"
+	"rushprobe/internal/simtime"
+)
+
+// header is the CSV column layout.
+var header = []string{"start_s", "length_s"}
+
+// Write encodes contacts as CSV with a header row.
+func Write(w io.Writer, contacts []contact.Contact) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i, c := range contacts {
+		rec := []string{
+			strconv.FormatFloat(c.Start.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(c.Length.Seconds(), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a CSV trace written by Write. Records must be sorted by
+// start time; Read verifies this so replays cannot silently reorder time.
+func Read(r io.Reader) ([]contact.Contact, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	first, err := cr.Read()
+	if errors.Is(err, io.EOF) {
+		return nil, errors.New("trace: empty input")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] || first[1] != header[1] {
+		return nil, fmt.Errorf("trace: unexpected header %v", first)
+	}
+	var out []contact.Contact
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		start, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d start: %w", line, err)
+		}
+		length, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d length: %w", line, err)
+		}
+		if length <= 0 {
+			return nil, fmt.Errorf("trace: line %d has non-positive length %g", line, length)
+		}
+		c := contact.Contact{Start: simtime.Instant(start), Length: simtime.Duration(length)}
+		if n := len(out); n > 0 && c.Start.Before(out[n-1].Start) {
+			return nil, fmt.Errorf("trace: line %d out of order (start %g before %g)", line, start, out[n-1].Start.Seconds())
+		}
+		out = append(out, c)
+	}
+}
+
+// SlotSummary aggregates a trace into per-slot statistics for one epoch
+// pattern (contacts from all epochs fold into the same N slots).
+type SlotSummary struct {
+	// Slot is the slot index.
+	Slot int
+	// Count is the number of contacts starting in the slot.
+	Count int
+	// Capacity is the summed contact length (seconds).
+	Capacity float64
+	// MeanLength is Capacity/Count (0 when empty).
+	MeanLength float64
+}
+
+// Summarize folds the trace into per-slot summaries using the clock's
+// epoch/slot structure.
+func Summarize(contacts []contact.Contact, clk *simtime.Clock) []SlotSummary {
+	out := make([]SlotSummary, clk.Slots())
+	for i := range out {
+		out[i].Slot = i
+	}
+	for _, c := range contacts {
+		i := clk.SlotIndex(c.Start)
+		out[i].Count++
+		out[i].Capacity += c.Length.Seconds()
+	}
+	for i := range out {
+		if out[i].Count > 0 {
+			out[i].MeanLength = out[i].Capacity / float64(out[i].Count)
+		}
+	}
+	return out
+}
+
+// TopSlots returns the indices of the k slots with the largest capacity,
+// in descending capacity order (ties broken by slot index for
+// determinism).
+func TopSlots(summaries []SlotSummary, k int) []int {
+	idx := make([]int, len(summaries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ca, cb := summaries[idx[a]].Capacity, summaries[idx[b]].Capacity
+		if ca != cb {
+			return ca > cb
+		}
+		return idx[a] < idx[b]
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Stats holds whole-trace aggregates.
+type Stats struct {
+	// Count is the number of contacts.
+	Count int
+	// TotalCapacity is the summed contact length in seconds.
+	TotalCapacity float64
+	// MeanLength is the mean contact length in seconds.
+	MeanLength float64
+	// MeanInterval is the mean gap between consecutive contact starts.
+	MeanInterval float64
+	// Span is the duration from the first start to the last end.
+	Span simtime.Duration
+}
+
+// Aggregate computes whole-trace statistics.
+func Aggregate(contacts []contact.Contact) Stats {
+	var s Stats
+	s.Count = len(contacts)
+	if s.Count == 0 {
+		return s
+	}
+	for _, c := range contacts {
+		s.TotalCapacity += c.Length.Seconds()
+	}
+	s.MeanLength = s.TotalCapacity / float64(s.Count)
+	if s.Count > 1 {
+		gap := contacts[s.Count-1].Start.Sub(contacts[0].Start).Seconds()
+		s.MeanInterval = gap / float64(s.Count-1)
+	}
+	s.Span = contacts[s.Count-1].End().Sub(contacts[0].Start)
+	return s
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rushprobe/internal/contact"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+)
+
+func sampleContacts() []contact.Contact {
+	return []contact.Contact{
+		{Start: 0, Length: 2},
+		{Start: 100, Length: 1.5},
+		{Start: 300.25, Length: 2.5},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sampleContacts()
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("got %d contacts, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("contact %d: got %+v, want %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestWriteEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty trace round-trip produced %d contacts", len(back))
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "bad header", give: "a,b\n1,2\n"},
+		{name: "bad start", give: "start_s,length_s\nnope,2\n"},
+		{name: "bad length", give: "start_s,length_s\n1,nope\n"},
+		{name: "zero length", give: "start_s,length_s\n1,0\n"},
+		{name: "negative length", give: "start_s,length_s\n1,-2\n"},
+		{name: "out of order", give: "start_s,length_s\n100,2\n50,2\n"},
+		{name: "wrong fields", give: "start_s,length_s\n1,2,3\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.give)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestRoundTripGeneratedTrace(t *testing.T) {
+	sc := scenario.Roadside()
+	g, err := contact.NewGenerator(sc, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := g.GenerateUntil(simtime.Instant(2 * simtime.Day))
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("got %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if math.Abs(back[i].Start.Seconds()-orig[i].Start.Seconds()) > 1e-9 {
+			t.Fatalf("start %d mismatch", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	clk, err := simtime.NewClock(simtime.Day, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := []contact.Contact{
+		{Start: simtime.Instant(7 * simtime.Hour), Length: 2},
+		{Start: simtime.Instant(7*simtime.Hour + 100), Length: 4},
+		{Start: simtime.Instant(12 * simtime.Hour), Length: 3},
+		// Second epoch folds onto slot 7 too.
+		{Start: simtime.Instant(simtime.Day + 7*simtime.Hour), Length: 2},
+	}
+	sums := Summarize(contacts, clk)
+	if len(sums) != 24 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	if sums[7].Count != 3 {
+		t.Errorf("slot 7 count = %d, want 3", sums[7].Count)
+	}
+	if math.Abs(sums[7].Capacity-8) > 1e-12 {
+		t.Errorf("slot 7 capacity = %v, want 8", sums[7].Capacity)
+	}
+	if math.Abs(sums[7].MeanLength-8.0/3) > 1e-12 {
+		t.Errorf("slot 7 mean length = %v", sums[7].MeanLength)
+	}
+	if sums[12].Count != 1 || sums[12].Capacity != 3 {
+		t.Errorf("slot 12 = %+v", sums[12])
+	}
+	if sums[0].Count != 0 || sums[0].MeanLength != 0 {
+		t.Errorf("slot 0 should be empty: %+v", sums[0])
+	}
+}
+
+func TestTopSlots(t *testing.T) {
+	sums := []SlotSummary{
+		{Slot: 0, Capacity: 5},
+		{Slot: 1, Capacity: 20},
+		{Slot: 2, Capacity: 10},
+		{Slot: 3, Capacity: 20},
+	}
+	top := TopSlots(sums, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Errorf("TopSlots = %v, want [1 3] (ties by index)", top)
+	}
+	if got := TopSlots(sums, 0); len(got) != 0 {
+		t.Errorf("k=0 should be empty, got %v", got)
+	}
+	if got := TopSlots(sums, 100); len(got) != 4 {
+		t.Errorf("k beyond len should clamp, got %v", got)
+	}
+	if got := TopSlots(sums, -1); len(got) != 0 {
+		t.Errorf("negative k should be empty, got %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := Aggregate(sampleContacts())
+	if s.Count != 3 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if math.Abs(s.TotalCapacity-6) > 1e-12 {
+		t.Errorf("capacity = %v, want 6", s.TotalCapacity)
+	}
+	if math.Abs(s.MeanLength-2) > 1e-12 {
+		t.Errorf("mean length = %v, want 2", s.MeanLength)
+	}
+	if math.Abs(s.MeanInterval-150.125) > 1e-9 {
+		t.Errorf("mean interval = %v, want 150.125", s.MeanInterval)
+	}
+	if math.Abs(s.Span.Seconds()-302.75) > 1e-9 {
+		t.Errorf("span = %v, want 302.75", s.Span)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	s := Aggregate(nil)
+	if s.Count != 0 || s.TotalCapacity != 0 || s.MeanLength != 0 {
+		t.Errorf("empty aggregate = %+v", s)
+	}
+}
