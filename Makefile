@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race fmt vet bench-smoke bench-baseline
+
+all: fmt vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Fast perf sanity check: the DES hot path (must stay 0 allocs/op) and
+# the replication fan-out.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkDES' -benchtime 10000x ./internal/des/
+	$(GO) test -run '^$$' -bench 'BenchmarkReplications' -benchtime 1x ./internal/sim/
+
+# Snapshot the full benchmark suite (figures + micro-benchmarks) into
+# BENCH_baseline.json so perf regressions show up as diffs. Tables and
+# non-benchmark output pass through on stderr.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/... | $(GO) run ./cmd/benchjson > BENCH_baseline.json

@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark baseline on stdout. It is the helper behind
+// `make bench-baseline`, which snapshots the suite into
+// BENCH_baseline.json so perf regressions show up as diffs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name including any -N GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock cost per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the benchmark reports
+	// allocations (-benchmem or b.ReportAllocs).
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results := []Result{} // non-nil so empty input encodes as [] not null
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass non-benchmark lines through to stderr so table output
+		// remains visible when piping.
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkDESSchedule-8  100000  232.0 ns/op  0 B/op  0 allocs/op  1.5 extra_metric
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seenNs := false
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, seenNs
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkDESSchedule-8  \t 100000 \t 232.0 ns/op \t 0 B/op \t 0 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkDESSchedule-8" || r.Iterations != 100000 || r.NsPerOp != 232 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Errorf("alloc fields = %+v", r)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkFig7Simulation 2 25518010593 ns/op 24.38 rh_zeta_t24")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Metrics["rh_zeta_t24"] != 24.38 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trushprobe\t203.417s",
+		"BenchmarkBroken notanumber 1 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("%q should not parse as a benchmark", line)
+		}
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkA-4 10 100.5 ns/op
+PASS
+BenchmarkB 20 50 ns/op 3 B/op 1 allocs/op
+`)
+	var out bytes.Buffer
+	if err := run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "BenchmarkA-4" || results[1].NsPerOp != 50 {
+		t.Errorf("results = %+v", results)
+	}
+}

@@ -25,10 +25,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("snipfig", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "", "experiment ID to run (see -list)")
-		format = fs.String("format", "text", "output format: text or csv")
-		seed   = fs.Uint64("seed", 1, "random seed for simulation-based figures")
-		list   = fs.Bool("list", false, "list available experiments")
+		fig      = fs.String("fig", "", "experiment ID to run (see -list)")
+		format   = fs.String("format", "text", "output format: text or csv")
+		seed     = fs.Uint64("seed", 1, "random seed for simulation-based figures")
+		list     = fs.Bool("list", false, "list available experiments")
+		parallel = fs.Int("parallel", 0, "max concurrent sweep points (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +47,7 @@ func run(args []string) error {
 	if *fig == "" {
 		return fmt.Errorf("missing -fig (or use -list); known: %v", rushprobe.ExperimentIDs())
 	}
-	tables, err := rushprobe.RunExperiment(*fig, *seed)
+	tables, err := rushprobe.RunExperiment(*fig, *seed, rushprobe.WithParallelism(*parallel))
 	if err != nil {
 		return err
 	}

@@ -30,7 +30,9 @@ func run(args []string) error {
 		epochs     = fs.Int("epochs", 14, "number of simulated epochs (days)")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		loss       = fs.Float64("loss", 0, "beacon loss probability")
-		perEpoch   = fs.Bool("per-epoch", false, "also print per-epoch capacity")
+		perEpoch   = fs.Bool("per-epoch", false, "also print per-epoch capacity (per-replication summaries with -replications)")
+		reps       = fs.Int("replications", 1, "independent replications with derived seeds")
+		parallel   = fs.Int("parallel", 0, "max concurrent replications (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +55,27 @@ func run(args []string) error {
 		rushprobe.WithBudgetFraction(*budgetFrac),
 		rushprobe.WithBeaconLoss(*loss),
 	)
+	if *reps > 1 {
+		rep, err := rushprobe.SimulateReplications(sc, mechanism, *reps,
+			rushprobe.WithEpochs(*epochs),
+			rushprobe.WithSeed(*seed),
+			rushprobe.WithParallelism(*parallel),
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mechanism:        %s\n", rep.Mechanism)
+		fmt.Printf("replications:     %d x %d epochs\n", rep.Replications, *epochs)
+		fmt.Printf("zeta (probed):    %.3f s/epoch (target %.3f, ±%.3f across replications)\n", rep.Zeta, *target, rep.ZetaCI95)
+		fmt.Printf("phi (probing):    %.3f s/epoch (budget %.3f, ±%.3f across replications)\n", rep.Phi, sc.PhiMax(), rep.PhiCI95)
+		fmt.Printf("rho (cost/unit):  %.3f\n", rep.Rho)
+		if *perEpoch {
+			for i, r := range rep.Runs {
+				fmt.Printf("  replication %2d: zeta = %.3f s, phi = %.3f s\n", i, r.Zeta, r.Phi)
+			}
+		}
+		return nil
+	}
 	sum, err := rushprobe.Simulate(sc, mechanism,
 		rushprobe.WithEpochs(*epochs),
 		rushprobe.WithSeed(*seed),

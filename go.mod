@@ -1,0 +1,3 @@
+module rushprobe
+
+go 1.21

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"rushprobe/internal/opt"
+	"rushprobe/internal/pool"
 	"rushprobe/internal/scenario"
 )
 
@@ -49,35 +50,20 @@ func newResult(target, zeta, phi float64) MechanismResult {
 // energy budget (PhiMax spread over the whole epoch). This is how the
 // paper parameterizes SNIP-AT offline (§IV, §VII.A.2).
 func ATDuty(sc *scenario.Scenario) (float64, error) {
-	if err := sc.Validate(); err != nil {
+	ev, err := NewEvaluator(sc)
+	if err != nil {
 		return 0, err
 	}
-	total := sc.TotalCapacity()
-	budgetDuty := 1.0
-	if sc.PhiMax > 0 {
-		budgetDuty = math.Min(1, sc.PhiMax/sc.Epoch.Seconds())
-	}
-	if total <= 0 || sc.ZetaTarget <= 0 {
-		return budgetDuty, nil
-	}
-	meanLen := sc.MeanContactLength()
-	targetUpsilon := sc.ZetaTarget / total
-	need := sc.Radio.DutyForUpsilon(targetUpsilon, meanLen)
-	return math.Min(need, budgetDuty), nil
+	return ev.ATDuty(sc.ZetaTarget), nil
 }
 
 // AT evaluates SNIP-AT analytically on the scenario.
 func AT(sc *scenario.Scenario) (MechanismResult, error) {
-	d, err := ATDuty(sc)
+	ev, err := NewEvaluator(sc)
 	if err != nil {
 		return MechanismResult{}, err
 	}
-	zeta := 0.0
-	for _, p := range sc.SlotProcesses() {
-		zeta += p.ProbedCapacity(sc.Radio, d)
-	}
-	phi := d * sc.Epoch.Seconds()
-	return newResult(sc.ZetaTarget, zeta, phi), nil
+	return ev.AT(sc.ZetaTarget), nil
 }
 
 // RH evaluates SNIP-RH analytically: probing runs only in rush-hour
@@ -85,52 +71,14 @@ func AT(sc *scenario.Scenario) (MechanismResult, error) {
 // soon as the target capacity has been probed (the data-availability
 // condition drains the buffer), and never exceeds the energy budget.
 // Rush slots are consumed in chronological order, matching the node's
-// temporal behaviour over an epoch.
+// temporal behaviour over an epoch. (The consumption model itself lives
+// in Evaluator.RH; this is the one-shot form.)
 func RH(sc *scenario.Scenario) (MechanismResult, error) {
-	if err := sc.Validate(); err != nil {
+	ev, err := NewEvaluator(sc)
+	if err != nil {
 		return MechanismResult{}, err
 	}
-	meanRushLen := rushMeanLength(sc)
-	if meanRushLen <= 0 {
-		// No rush-hour capacity at all: RH probes nothing.
-		return newResult(sc.ZetaTarget, 0, 0), nil
-	}
-	drh := sc.Radio.Knee(meanRushLen)
-	var (
-		zeta, phi float64
-		budget    = sc.PhiMax
-	)
-	procs := sc.SlotProcesses()
-	for i, p := range procs {
-		if !sc.Slots[i].RushHour || p.Freq <= 0 {
-			continue
-		}
-		if zeta >= sc.ZetaTarget || (budget > 0 && phi >= budget) {
-			break
-		}
-		// Capacity and energy rates per active second in this slot.
-		capRate := sc.Radio.CapacityRate(drh, p.Length.Mean(), p.Freq)
-		if capRate <= 0 {
-			continue
-		}
-		tMax := p.Duration
-		// Stop early when the target is reached...
-		if need := (sc.ZetaTarget - zeta) / capRate; need < tMax {
-			tMax = need
-		}
-		// ...or when the budget runs out.
-		if budget > 0 {
-			if room := (budget - phi) / drh; room < tMax {
-				tMax = room
-			}
-		}
-		if tMax <= 0 {
-			break
-		}
-		zeta += capRate * tMax
-		phi += drh * tMax
-	}
-	return newResult(sc.ZetaTarget, zeta, phi), nil
+	return ev.RH(sc.ZetaTarget), nil
 }
 
 // rushMeanLength returns the frequency-weighted mean contact length over
@@ -156,15 +104,11 @@ func rushMeanLength(sc *scenario.Scenario) float64 {
 
 // OPTPlan solves the SNIP-OPT two-step optimization for the scenario.
 func OPTPlan(sc *scenario.Scenario) (opt.Plan, error) {
-	if err := sc.Validate(); err != nil {
+	ev, err := NewEvaluator(sc)
+	if err != nil {
 		return opt.Plan{}, err
 	}
-	return opt.Solve(opt.Problem{
-		Model:      sc.Radio,
-		Slots:      sc.SlotProcesses(),
-		PhiMax:     sc.PhiMax,
-		ZetaTarget: sc.ZetaTarget,
-	})
+	return ev.OPTPlan(sc.ZetaTarget)
 }
 
 // OPT evaluates SNIP-OPT analytically on the scenario.
@@ -183,35 +127,44 @@ type Sweep struct {
 }
 
 // SweepTargets evaluates all three mechanisms over the given targets on
-// copies of the base scenario. This generates the data behind Figures 5
-// and 6 (and, with the simulation harness, 7 and 8).
+// the base scenario. This generates the data behind Figures 5 and 6
+// (and, with the simulation harness, 7 and 8). It uses the default
+// parallelism; see SweepTargetsParallel.
 func SweepTargets(base *scenario.Scenario, targets []float64) ([]Sweep, error) {
+	return SweepTargetsParallel(base, targets, 0)
+}
+
+// SweepTargetsParallel evaluates the sweep points concurrently across
+// at most parallelism workers (<= 0 means GOMAXPROCS). A shared
+// Evaluator memoizes the target-independent work — the optimizer's slot
+// curves are built once for the whole sweep — and points land in their
+// target's slot, so the tables are bit-identical for every parallelism
+// setting.
+func SweepTargetsParallel(base *scenario.Scenario, targets []float64, parallelism int) ([]Sweep, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("analysis: no targets given")
 	}
-	sweeps := []Sweep{
-		{Mechanism: "SNIP-AT"},
-		{Mechanism: "SNIP-OPT"},
-		{Mechanism: "SNIP-RH"},
+	ev, err := NewEvaluator(base)
+	if err != nil {
+		return nil, err
 	}
-	for _, target := range targets {
-		sc := *base
-		sc.ZetaTarget = target
-		at, err := AT(&sc)
+	sweeps := []Sweep{
+		{Mechanism: "SNIP-AT", Points: make([]MechanismResult, len(targets))},
+		{Mechanism: "SNIP-OPT", Points: make([]MechanismResult, len(targets))},
+		{Mechanism: "SNIP-RH", Points: make([]MechanismResult, len(targets))},
+	}
+	err = pool.ForEach(len(targets), parallelism, func(i int) error {
+		at, op, rh, err := ev.Point(targets[i])
 		if err != nil {
-			return nil, fmt.Errorf("analysis: AT at target %g: %w", target, err)
+			return err
 		}
-		op, err := OPT(&sc)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: OPT at target %g: %w", target, err)
-		}
-		rh, err := RH(&sc)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: RH at target %g: %w", target, err)
-		}
-		sweeps[0].Points = append(sweeps[0].Points, at)
-		sweeps[1].Points = append(sweeps[1].Points, op)
-		sweeps[2].Points = append(sweeps[2].Points, rh)
+		sweeps[0].Points[i] = at
+		sweeps[1].Points[i] = op
+		sweeps[2].Points[i] = rh
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sweeps, nil
 }

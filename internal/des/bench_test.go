@@ -1,0 +1,65 @@
+package des
+
+import (
+	"testing"
+
+	"rushprobe/internal/simtime"
+)
+
+// BenchmarkDESSchedule measures the steady-state hot path of the
+// simulator: one ScheduleAt plus one Step per iteration against a
+// standing queue, the access pattern of the beacon/wake-up/contact
+// event mill. The acceptance bar is 0 allocs/op: events are recycled
+// through the free list and the 4-ary heap pushes/pops without
+// interface boxing.
+func BenchmarkDESSchedule(b *testing.B) {
+	const standing = 1024 // queue depth kept during the benchmark
+	s := New()
+	var fn Handler = func(simtime.Instant) {}
+	for i := 0; i < standing; i++ {
+		if _, err := s.ScheduleAt(simtime.Instant(i), "e", fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScheduleIn(standing, "e", fn); err != nil {
+			b.Fatal(err)
+		}
+		s.Step()
+	}
+}
+
+// BenchmarkDESCancel measures cancel-heavy workloads (the simulator
+// cancels the pending beacon and radio-off events on every probe).
+func BenchmarkDESCancel(b *testing.B) {
+	s := New()
+	var fn Handler = func(simtime.Instant) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, err := s.ScheduleIn(10, "victim", fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Cancel(ref)
+	}
+}
+
+// BenchmarkDESTicker drives three interleaved tickers, the exact shape
+// of the sim package's epoch/slot/cpu-wake mill.
+func BenchmarkDESTicker(b *testing.B) {
+	s := New()
+	noop := func(simtime.Instant) {}
+	for _, period := range []simtime.Duration{60, 3600, 86400} {
+		if _, err := s.NewTicker(0, period, "tick", noop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

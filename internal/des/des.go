@@ -7,10 +7,17 @@
 //
 // Events scheduled for the same instant fire in schedule order (a strictly
 // increasing sequence number breaks ties), so runs are bit-reproducible.
+//
+// The scheduler is built for the hot path of large experiment sweeps:
+// the priority queue is a concrete indexed 4-ary min-heap over []*event
+// (no interface boxing on push/pop), and fired or canceled events return
+// to a free list, so steady-state scheduling allocates nothing. Because
+// event records are recycled, callers hold EventRef handles whose
+// generation counter makes Cancel on an already-fired (and possibly
+// reused) event a safe no-op.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -20,60 +27,149 @@ import (
 // Handler is a callback invoked when an event fires.
 type Handler func(now simtime.Instant)
 
-// Event is a scheduled callback. Its fields are managed by the Simulator.
-type Event struct {
-	at       simtime.Instant
-	seq      uint64
-	index    int // heap index; -1 when not queued
-	canceled bool
-	name     string
-	fn       Handler
+// event is a scheduled callback record. Records are owned and recycled
+// by the Simulator; external code only sees EventRef handles.
+type event struct {
+	at    simtime.Instant
+	seq   uint64
+	gen   uint64     // bumped every recycle; guards stale EventRefs
+	owner *Simulator // guards refs passed to a different Simulator
+	index int32      // heap index; -1 when not queued
+	name  string
+	fn    Handler
 }
 
-// At returns the instant the event is scheduled for.
-func (e *Event) At() simtime.Instant { return e.at }
+// EventRef is a handle to a scheduled event. The zero value refers to
+// no event; Cancel on it is a no-op. A ref goes dead once its event
+// fires or is canceled — dead refs are harmless (the underlying record
+// may have been recycled for a later event, which the generation
+// counter detects).
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-// Name returns the diagnostic label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// live reports whether the ref still points at its queued event.
+func (r EventRef) live() bool { return r.ev != nil && r.ev.gen == r.gen }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Scheduled reports whether the event is still queued (not yet fired,
+// not canceled).
+func (r EventRef) Scheduled() bool { return r.live() }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// At returns the instant the event is scheduled for, or zero when the
+// ref is dead.
+func (r EventRef) At() simtime.Instant {
+	if !r.live() {
+		return 0
 	}
-	return q[i].seq < q[j].seq
+	return r.ev.at
 }
 
-func (q eventQueue) Swap(i, j int) {
+// Name returns the diagnostic label given at scheduling time, or ""
+// when the ref is dead.
+func (r EventRef) Name() string {
+	if !r.live() {
+		return ""
+	}
+	return r.ev.name
+}
+
+// eventQueue is an indexed 4-ary min-heap ordered by (at, seq). A 4-ary
+// layout halves the tree depth of a binary heap and keeps the children
+// of a node in one cache line; the concrete element type avoids the
+// interface boxing of container/heap.
+type eventQueue []*event
+
+const heapArity = 4
+
+func (q eventQueue) less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+	q[i].index = int32(i)
+	q[j].index = int32(j)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return // heap.Push is only called by this package with *Event
-	}
-	ev.index = len(*q)
+// push appends ev and restores the heap property.
+func (q *eventQueue) push(ev *event) {
+	ev.index = int32(len(*q))
 	*q = append(*q, ev)
+	q.siftUp(len(*q) - 1)
 }
 
-func (q *eventQueue) Pop() any {
+// popMin removes and returns the minimum element.
+func (q *eventQueue) popMin() *event {
 	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	top := old[0]
+	n := len(old) - 1
+	old.swap(0, n)
+	old[n] = nil
+	*q = old[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+// remove deletes the element at heap index i.
+func (q *eventQueue) remove(i int) {
+	old := *q
+	n := len(old) - 1
+	ev := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*q = old[:n]
+	if i != n {
+		// The element moved into slot i may need to travel either way.
+		q.siftDown(i)
+		q.siftUp(i)
+	}
 	ev.index = -1
-	*q = old[:n-1]
-	return ev
+}
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, min) {
+				min = c
+			}
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
 }
 
 // ErrPastEvent is returned when scheduling an event before the current
@@ -82,13 +178,15 @@ var ErrPastEvent = errors.New("des: cannot schedule event in the past")
 
 // Simulator owns the event queue and the simulated clock.
 //
-// The zero value is ready to use and starts at time 0.
+// The zero value is ready to use and starts at time 0. A Simulator is
+// single-threaded; concurrent experiment runs each own their own
+// Simulator.
 type Simulator struct {
 	now       simtime.Instant
 	queue     eventQueue
+	free      []*event // recycled event records
 	seq       uint64
 	processed uint64
-	running   bool
 }
 
 // New returns a Simulator starting at time zero.
@@ -97,64 +195,83 @@ func New() *Simulator { return &Simulator{} }
 // Now returns the current simulated time.
 func (s *Simulator) Now() simtime.Instant { return s.now }
 
-// Pending returns the number of queued (non-canceled) events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued events. Canceled events leave
+// the queue immediately, so every pending event will fire.
+func (s *Simulator) Pending() int { return len(s.queue) }
 
 // Processed returns the number of events fired so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
+// alloc takes an event record from the free list, or allocates one when
+// the pool is empty (only during warm-up; steady state recycles).
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{owner: s}
+}
+
+// recycle returns a record to the free list, invalidating outstanding
+// refs to it by bumping the generation.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	s.free = append(s.free, ev)
+}
+
 // ScheduleAt schedules fn at the absolute instant at. The name labels the
 // event in diagnostics. It returns the event handle, or an error when at
 // is in the past.
-func (s *Simulator) ScheduleAt(at simtime.Instant, name string, fn Handler) (*Event, error) {
+func (s *Simulator) ScheduleAt(at simtime.Instant, name string, fn Handler) (EventRef, error) {
 	if at.Before(s.now) {
-		return nil, fmt.Errorf("%w: at %v, now %v (%s)", ErrPastEvent, at, s.now, name)
+		return EventRef{}, fmt.Errorf("%w: at %v, now %v (%s)", ErrPastEvent, at, s.now, name)
 	}
-	ev := &Event{at: at, seq: s.seq, name: name, fn: fn}
+	ev := s.alloc()
+	ev.at = at
+	ev.seq = s.seq
+	ev.name = name
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev, nil
+	s.queue.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}, nil
 }
 
 // ScheduleIn schedules fn after delay d from now. Negative delays are an
 // error.
-func (s *Simulator) ScheduleIn(d simtime.Duration, name string, fn Handler) (*Event, error) {
+func (s *Simulator) ScheduleIn(d simtime.Duration, name string, fn Handler) (EventRef, error) {
 	return s.ScheduleAt(s.now.Add(d), name, fn)
 }
 
-// Cancel marks the event so it will not fire. Canceling an already-fired
-// or already-canceled event is a no-op.
-func (s *Simulator) Cancel(ev *Event) {
-	if ev == nil {
+// Cancel removes the event from the queue so it will not fire.
+// Canceling the zero ref, an already-fired or an already-canceled
+// event, or a ref that belongs to a different Simulator is a no-op.
+func (s *Simulator) Cancel(ref EventRef) {
+	if !ref.live() || ref.ev.owner != s || ref.ev.index < 0 {
 		return
 	}
-	ev.canceled = true
+	ev := ref.ev
+	s.queue.remove(int(ev.index))
+	s.recycle(ev)
 }
 
 // Step fires the next event. It returns false when the queue is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		top, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
-			return false
-		}
-		if top.canceled {
-			continue
-		}
-		s.now = top.at
-		s.processed++
-		top.fn(s.now)
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	top := s.queue.popMin()
+	s.now = top.at
+	s.processed++
+	fn := top.fn
+	// Recycle before invoking so the handler's own rescheduling reuses
+	// the record; outstanding refs go dead via the generation bump.
+	s.recycle(top)
+	fn(s.now)
+	return true
 }
 
 // RunUntil fires events in order until the queue is empty or the next
@@ -162,16 +279,8 @@ func (s *Simulator) Step() bool {
 // (or at the last event if the queue drained first, whichever is later
 // never exceeding the horizon).
 func (s *Simulator) RunUntil(horizon simtime.Instant) {
-	s.running = true
-	defer func() { s.running = false }()
 	for len(s.queue) > 0 {
-		// Peek.
-		next := s.queue[0]
-		if next.canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at.After(horizon) {
+		if s.queue[0].at.After(horizon) {
 			break
 		}
 		s.Step()
@@ -191,12 +300,13 @@ func (s *Simulator) Run() {
 // given instant. It reschedules itself after each tick until stopped. The
 // handler may stop the ticker from within a tick.
 type Ticker struct {
-	sim    *Simulator
-	period simtime.Duration
-	name   string
-	fn     Handler
-	ev     *Event
-	stop   bool
+	sim     *Simulator
+	period  simtime.Duration
+	name    string
+	fn      Handler
+	tickFn  Handler // t.tick bound once, so rescheduling allocates nothing
+	ev      EventRef
+	stopped bool
 }
 
 // NewTicker schedules fn every period, first firing at start. It returns
@@ -206,7 +316,8 @@ func (s *Simulator) NewTicker(start simtime.Instant, period simtime.Duration, na
 		return nil, fmt.Errorf("des: ticker %q needs positive period, got %v", name, period)
 	}
 	t := &Ticker{sim: s, period: period, name: name, fn: fn}
-	ev, err := s.ScheduleAt(start, name, t.tick)
+	t.tickFn = t.tick
+	ev, err := s.ScheduleAt(start, name, t.tickFn)
 	if err != nil {
 		return nil, err
 	}
@@ -215,18 +326,18 @@ func (s *Simulator) NewTicker(start simtime.Instant, period simtime.Duration, na
 }
 
 func (t *Ticker) tick(now simtime.Instant) {
-	if t.stop {
+	if t.stopped {
 		return
 	}
 	t.fn(now)
-	if t.stop {
+	if t.stopped {
 		return
 	}
-	ev, err := t.sim.ScheduleIn(t.period, t.name, t.tick)
+	ev, err := t.sim.ScheduleIn(t.period, t.name, t.tickFn)
 	if err != nil {
 		// Periods are positive, so rescheduling from the current instant
 		// cannot land in the past; treat a failure as a stop.
-		t.stop = true
+		t.stopped = true
 		return
 	}
 	t.ev = ev
@@ -234,8 +345,6 @@ func (t *Ticker) tick(now simtime.Instant) {
 
 // Stop prevents any further ticks.
 func (t *Ticker) Stop() {
-	t.stop = true
-	if t.ev != nil {
-		t.sim.Cancel(t.ev)
-	}
+	t.stopped = true
+	t.sim.Cancel(t.ev)
 }

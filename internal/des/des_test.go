@@ -2,6 +2,7 @@ package des
 
 import (
 	"errors"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -69,15 +70,66 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	ev := mustSchedule(t, s, 10, "x", func(simtime.Instant) { fired = true })
+	if !ev.Scheduled() {
+		t.Error("fresh event should report Scheduled")
+	}
+	if ev.At() != 10 || ev.Name() != "x" {
+		t.Errorf("ref = (%v, %q), want (10, x)", ev.At(), ev.Name())
+	}
 	s.Cancel(ev)
 	s.Run()
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Error("Canceled() should report true")
+	if ev.Scheduled() {
+		t.Error("canceled ref should report not Scheduled")
 	}
-	s.Cancel(nil) // must not panic
+	s.Cancel(EventRef{}) // zero ref must not panic
+	s.Cancel(ev)         // double cancel must be a no-op
+}
+
+// A ref held across its event's firing must go dead, and Cancel through
+// it must never touch the recycled record's new occupant.
+func TestStaleRefCancelIsNoOp(t *testing.T) {
+	s := New()
+	first := mustSchedule(t, s, 10, "first", func(simtime.Instant) {})
+	if !s.Step() {
+		t.Fatal("step should fire the first event")
+	}
+	if first.Scheduled() {
+		t.Error("fired ref should be dead")
+	}
+	// The free list now recycles the record for the next event.
+	secondFired := false
+	second := mustSchedule(t, s, 20, "second", func(simtime.Instant) { secondFired = true })
+	s.Cancel(first) // stale: must NOT cancel the recycled record
+	s.Run()
+	if !secondFired {
+		t.Error("stale-ref cancel killed an unrelated event")
+	}
+	if second.Scheduled() {
+		t.Error("fired second ref should be dead")
+	}
+}
+
+// A ref handed to the wrong Simulator's Cancel must be a no-op on both
+// simulators (the ref's heap index means nothing in another queue).
+func TestCancelFromOtherSimulatorIsNoOp(t *testing.T) {
+	a, b := New(), New()
+	aFired, bFired := 0, 0
+	refA := mustSchedule(t, a, 10, "a", func(simtime.Instant) { aFired++ })
+	for i := 0; i < 3; i++ {
+		mustSchedule(t, b, simtime.Instant(10+i), "b", func(simtime.Instant) { bFired++ })
+	}
+	b.Cancel(refA)
+	a.Run()
+	b.Run()
+	if aFired != 1 {
+		t.Errorf("a fired %d events, want 1 (foreign Cancel must not cancel)", aFired)
+	}
+	if bFired != 3 {
+		t.Errorf("b fired %d events, want 3 (foreign ref must not remove b's events)", bFired)
+	}
 }
 
 func TestRunUntilHorizon(t *testing.T) {
@@ -218,7 +270,96 @@ func TestFireOrderProperty(t *testing.T) {
 	}
 }
 
-func mustSchedule(t *testing.T, s *Simulator, at simtime.Instant, name string, fn Handler) *Event {
+// Property: with random schedules, random cancels, and same-instant
+// ties, the surviving events fire exactly in (at, seq) order — the
+// 4-ary indexed heap and the free-list recycling preserve the
+// container/heap semantics bit for bit.
+func TestHeapOrderCancelAndTiesProperty(t *testing.T) {
+	type record struct {
+		at  simtime.Instant
+		seq int
+	}
+	f := func(raw []uint8, cancelIdx []uint8) bool {
+		s := New()
+		refs := make([]EventRef, len(raw))
+		var fired []record
+		for i, r := range raw {
+			// Coarse times (mod 8) force many same-instant ties.
+			at := simtime.Instant(r % 8)
+			seq := i
+			ref, err := s.ScheduleAt(at, "e", func(now simtime.Instant) {
+				fired = append(fired, record{at: now, seq: seq})
+			})
+			if err != nil {
+				return false
+			}
+			refs[i] = ref
+		}
+		// Cancel a pseudo-random subset (indices may repeat: double
+		// cancels must stay no-ops).
+		canceled := make(map[int]bool)
+		for _, c := range cancelIdx {
+			if len(refs) == 0 {
+				break
+			}
+			i := int(c) % len(refs)
+			s.Cancel(refs[i])
+			canceled[i] = true
+		}
+		s.Run()
+		// Expectation: all non-canceled events, ordered by (at, seq).
+		var want []record
+		for i, r := range raw {
+			if !canceled[i] {
+				want = append(want, record{at: simtime.Instant(r % 8), seq: i})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].at != want[b].at {
+				return want[a].at < want[b].at
+			}
+			return want[a].seq < want[b].seq
+		})
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Steady-state scheduling must not allocate: events come from the free
+// list and the queue's backing array is warm.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	s := New()
+	var fn Handler = func(simtime.Instant) {}
+	// Warm-up: grow the pool and the heap's backing array.
+	for i := 0; i < 256; i++ {
+		if _, err := s.ScheduleAt(simtime.Instant(i), "warm", fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.ScheduleIn(1, "hot", fn); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ScheduleIn+Step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulator, at simtime.Instant, name string, fn Handler) EventRef {
 	t.Helper()
 	ev, err := s.ScheduleAt(at, name, fn)
 	if err != nil {

@@ -1,0 +1,196 @@
+// Package dist provides the scalar probability distributions the
+// simulator and the analytical model share: contact inter-arrival
+// times, contact lengths, and mobile-node speeds are all described as
+// Samplers.
+//
+// Every distribution is a small immutable value, safe to share across
+// goroutines; all randomness flows through the rng.Source passed to
+// Sample, keeping runs bit-reproducible for a fixed seed. The Spec type
+// gives each supported distribution a stable JSON form ("kind" plus
+// parameters) used by scenario serialization.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"rushprobe/internal/rng"
+)
+
+// Sampler is a scalar probability distribution.
+type Sampler interface {
+	// Sample draws one value using the given randomness source.
+	Sample(src rng.Source) float64
+	// Mean returns the distribution's expected value.
+	Mean() float64
+	// String describes the distribution for diagnostics.
+	String() string
+}
+
+// Fixed is the degenerate distribution: every draw returns Value.
+// The paper's numerical analysis (§VII.A.1) uses fixed intervals and
+// lengths; the model package detects Fixed to use closed forms.
+type Fixed struct {
+	// Value is the constant returned by every draw.
+	Value float64
+}
+
+var _ Sampler = Fixed{}
+
+// Sample returns the fixed value.
+func (f Fixed) Sample(rng.Source) float64 { return f.Value }
+
+// Mean returns the fixed value.
+func (f Fixed) Mean() float64 { return f.Value }
+
+// String describes the distribution.
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%g)", f.Value) }
+
+// Normal is the normal distribution N(Mu, Sigma^2).
+type Normal struct {
+	// Mu is the mean.
+	Mu float64
+	// Sigma is the standard deviation.
+	Sigma float64
+}
+
+var _ Sampler = Normal{}
+
+// NormalTenth returns the paper's simulation distribution for a
+// positive quantity with the given mean: Normal(mean, mean/10)
+// (§VII.A.2: "Tinterval follows a normal distribution" with sigma a
+// tenth of the mean).
+func NormalTenth(mean float64) Normal {
+	return Normal{Mu: mean, Sigma: mean / 10}
+}
+
+// Sample draws from the normal distribution. Consumers that need a
+// positive quantity clamp the (vanishingly rare at sigma = mean/10)
+// non-positive draws themselves.
+func (n Normal) Sample(src rng.Source) float64 {
+	return n.Mu + n.Sigma*src.NormFloat64()
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// String describes the distribution.
+func (n Normal) String() string { return fmt.Sprintf("normal(%g, %g)", n.Mu, n.Sigma) }
+
+// Exponential is the exponential distribution with the given mean
+// (rate 1/MeanValue).
+type Exponential struct {
+	// MeanValue is the distribution mean, 1/rate.
+	MeanValue float64
+}
+
+var _ Sampler = Exponential{}
+
+// Sample draws from the exponential distribution.
+func (e Exponential) Sample(src rng.Source) float64 {
+	return e.MeanValue * src.ExpFloat64()
+}
+
+// Mean returns the mean.
+func (e Exponential) Mean() float64 { return e.MeanValue }
+
+// String describes the distribution.
+func (e Exponential) String() string { return fmt.Sprintf("exponential(%g)", e.MeanValue) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	// Lo and Hi bound the support.
+	Lo, Hi float64
+}
+
+var _ Sampler = Uniform{}
+
+// Sample draws uniformly from [Lo, Hi).
+func (u Uniform) Sample(src rng.Source) float64 {
+	return u.Lo + (u.Hi-u.Lo)*src.Float64()
+}
+
+// Mean returns the midpoint of the support.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// String describes the distribution.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g, %g)", u.Lo, u.Hi) }
+
+// LogNormal is the log-normal distribution: exp of N(Mu, Sigma^2).
+type LogNormal struct {
+	// Mu and Sigma parameterize the underlying normal.
+	Mu, Sigma float64
+}
+
+var _ Sampler = LogNormal{}
+
+// Sample draws from the log-normal distribution.
+func (l LogNormal) Sample(src rng.Source) float64 {
+	return math.Exp(l.Mu + l.Sigma*src.NormFloat64())
+}
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// String describes the distribution.
+func (l LogNormal) String() string { return fmt.Sprintf("lognormal(%g, %g)", l.Mu, l.Sigma) }
+
+// Spec is the serialized form of a Sampler: a kind discriminator plus
+// the parameters of that kind. Unknown kinds fail at Build time, so a
+// scenario file with a typo is rejected rather than silently skewed.
+type Spec struct {
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value,omitempty"` // fixed
+	Mu    float64 `json:"mu,omitempty"`    // normal, lognormal
+	Sigma float64 `json:"sigma,omitempty"` // normal, lognormal
+	Mean  float64 `json:"mean,omitempty"`  // exponential
+	Lo    float64 `json:"lo,omitempty"`    // uniform
+	Hi    float64 `json:"hi,omitempty"`    // uniform
+}
+
+// Spec kind discriminators.
+const (
+	KindFixed       = "fixed"
+	KindNormal      = "normal"
+	KindExponential = "exponential"
+	KindUniform     = "uniform"
+	KindLogNormal   = "lognormal"
+)
+
+// SpecOf returns the serializable spec of a supported sampler. Custom
+// Sampler implementations outside this package are not serializable and
+// yield an error.
+func SpecOf(s Sampler) (Spec, error) {
+	switch d := s.(type) {
+	case Fixed:
+		return Spec{Kind: KindFixed, Value: d.Value}, nil
+	case Normal:
+		return Spec{Kind: KindNormal, Mu: d.Mu, Sigma: d.Sigma}, nil
+	case Exponential:
+		return Spec{Kind: KindExponential, Mean: d.MeanValue}, nil
+	case Uniform:
+		return Spec{Kind: KindUniform, Lo: d.Lo, Hi: d.Hi}, nil
+	case LogNormal:
+		return Spec{Kind: KindLogNormal, Mu: d.Mu, Sigma: d.Sigma}, nil
+	default:
+		return Spec{}, fmt.Errorf("dist: %v is not serializable", s)
+	}
+}
+
+// Build reconstructs the sampler described by the spec.
+func (s Spec) Build() (Sampler, error) {
+	switch s.Kind {
+	case KindFixed:
+		return Fixed{Value: s.Value}, nil
+	case KindNormal:
+		return Normal{Mu: s.Mu, Sigma: s.Sigma}, nil
+	case KindExponential:
+		return Exponential{MeanValue: s.Mean}, nil
+	case KindUniform:
+		return Uniform{Lo: s.Lo, Hi: s.Hi}, nil
+	case KindLogNormal:
+		return LogNormal{Mu: s.Mu, Sigma: s.Sigma}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown distribution kind %q", s.Kind)
+	}
+}

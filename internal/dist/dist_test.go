@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"rushprobe/internal/rng"
+)
+
+func TestMeans(t *testing.T) {
+	cases := []struct {
+		s    Sampler
+		want float64
+	}{
+		{Fixed{Value: 2}, 2},
+		{NormalTenth(300), 300},
+		{Normal{Mu: 5, Sigma: 1}, 5},
+		{Exponential{MeanValue: 7}, 7},
+		{Uniform{Lo: 1, Hi: 3}, 2},
+		{LogNormal{Mu: 0, Sigma: 0.5}, math.Exp(0.125)},
+	}
+	for _, c := range cases {
+		if got := c.s.Mean(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Mean() = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestNormalTenthSigma(t *testing.T) {
+	n := NormalTenth(300)
+	if n.Sigma != 30 {
+		t.Errorf("NormalTenth(300).Sigma = %v, want 30", n.Sigma)
+	}
+}
+
+// Empirical means must converge to the analytical means: the sampling
+// code paths and the Mean() implementations agree.
+func TestSampleMeansConverge(t *testing.T) {
+	src := rng.New(42)
+	const n = 200000
+	for _, s := range []Sampler{
+		Fixed{Value: 2},
+		NormalTenth(300),
+		Exponential{MeanValue: 7},
+		Uniform{Lo: 1, Hi: 3},
+		LogNormal{Mu: 0, Sigma: 0.3},
+	} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.Sample(src)
+		}
+		got := sum / n
+		want := s.Mean()
+		if math.Abs(got-want) > 0.02*math.Max(1, want) {
+			t.Errorf("%v: empirical mean %v, analytical %v", s, got, want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []Sampler{
+		Fixed{Value: 2},
+		Normal{Mu: 300, Sigma: 30},
+		Exponential{MeanValue: 7},
+		Uniform{Lo: 1, Hi: 3},
+		LogNormal{Mu: 0.5, Sigma: 0.25},
+	} {
+		spec, err := SpecOf(s)
+		if err != nil {
+			t.Fatalf("SpecOf(%v): %v", s, err)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", spec, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		rebuilt, err := back.Build()
+		if err != nil {
+			t.Fatalf("build %v: %v", back, err)
+		}
+		if rebuilt != s {
+			t.Errorf("round trip of %v gave %v", s, rebuilt)
+		}
+	}
+}
+
+func TestSpecRejectsUnknownKind(t *testing.T) {
+	if _, err := (Spec{Kind: "nope"}).Build(); err == nil {
+		t.Error("unknown kind should fail to build")
+	}
+}
+
+type custom struct{}
+
+func (custom) Sample(rng.Source) float64 { return 0 }
+func (custom) Mean() float64             { return 0 }
+func (custom) String() string            { return "custom" }
+
+func TestSpecOfRejectsCustomSampler(t *testing.T) {
+	if _, err := SpecOf(custom{}); err == nil {
+		t.Error("custom sampler should not be serializable")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"rushprobe/internal/dist"
 	"rushprobe/internal/learn"
 	"rushprobe/internal/model"
+	"rushprobe/internal/pool"
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/sim"
 	"rushprobe/internal/simtime"
@@ -98,15 +99,27 @@ func formatCell(v float64) string {
 	return fmt.Sprintf("%.4g", v)
 }
 
+// Params carries the runtime knobs an experiment receives.
+type Params struct {
+	// Seed feeds the stochastic parts (ignored by closed-form analyses).
+	Seed uint64
+	// Parallelism bounds how many sweep points / simulation runs the
+	// experiment executes concurrently through the shared worker pool.
+	// Zero or negative means GOMAXPROCS; 1 forces serial execution.
+	// Every setting produces bit-identical tables: grid points derive
+	// their randomness from (Seed, point) alone and land in their own
+	// row/column slot.
+	Parallelism int
+}
+
 // Experiment regenerates one figure.
 type Experiment struct {
 	// ID is the registry key ("fig5", "ext-shift", ...).
 	ID string
 	// Description says what the experiment reproduces.
 	Description string
-	// Run executes the experiment. Seed feeds the stochastic parts
-	// (ignored by closed-form analyses).
-	Run func(seed uint64) ([]*Table, error)
+	// Run executes the experiment.
+	Run func(p Params) ([]*Table, error)
 }
 
 // Registry returns all experiments keyed by ID.
@@ -125,22 +138,22 @@ func Registry() map[string]*Experiment {
 		{
 			ID:          "fig5",
 			Description: "Analysis of SNIP-AT/OPT/RH at PhiMax = Tepoch/1000 (Fig. 5)",
-			Run:         func(uint64) ([]*Table, error) { return runAnalysisFigure("fig5", 1.0/1000) },
+			Run:         func(p Params) ([]*Table, error) { return runAnalysisFigure("fig5", 1.0/1000, p) },
 		},
 		{
 			ID:          "fig6",
 			Description: "Analysis of SNIP-AT/OPT/RH at PhiMax = Tepoch/100 (Fig. 6)",
-			Run:         func(uint64) ([]*Table, error) { return runAnalysisFigure("fig6", 1.0/100) },
+			Run:         func(p Params) ([]*Table, error) { return runAnalysisFigure("fig6", 1.0/100, p) },
 		},
 		{
 			ID:          "fig7",
 			Description: "Simulation of SNIP-AT/OPT/RH at PhiMax = Tepoch/1000, 2 simulated weeks (Fig. 7)",
-			Run:         func(seed uint64) ([]*Table, error) { return runSimulationFigure("fig7", 1.0/1000, seed) },
+			Run:         func(p Params) ([]*Table, error) { return runSimulationFigure("fig7", 1.0/1000, p) },
 		},
 		{
 			ID:          "fig8",
 			Description: "Simulation of SNIP-AT/OPT/RH at PhiMax = Tepoch/100, 2 simulated weeks (Fig. 8)",
-			Run:         func(seed uint64) ([]*Table, error) { return runSimulationFigure("fig8", 1.0/100, seed) },
+			Run:         func(p Params) ([]*Table, error) { return runSimulationFigure("fig8", 1.0/100, p) },
 		},
 		{
 			ID:          "ext-learn",
@@ -190,7 +203,7 @@ func IDs() []string {
 // SimEpochs is the simulated duration of the paper's runs: two weeks.
 const SimEpochs = 14
 
-func runFig3(uint64) ([]*Table, error) {
+func runFig3(Params) ([]*Table, error) {
 	profile := contact.DefaultCommute()
 	shares, err := contact.HourlyShares(profile, 24)
 	if err != nil {
@@ -209,7 +222,7 @@ func runFig3(uint64) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runFig4(uint64) ([]*Table, error) {
+func runFig4(Params) ([]*Table, error) {
 	fractions := analysis.Linspace(0.05, 0.5, 10)
 	ratios := analysis.Linspace(2, 20, 10)
 	pts, err := analysis.MotivationSurface(fractions, ratios)
@@ -228,55 +241,83 @@ func runFig4(uint64) ([]*Table, error) {
 
 // runAnalysisFigure produces the three sub-plots (zeta, Phi, rho) of
 // Figure 5 or 6 from the closed-form analysis.
-func runAnalysisFigure(id string, budgetFrac float64) ([]*Table, error) {
+func runAnalysisFigure(id string, budgetFrac float64, p Params) ([]*Table, error) {
 	base := scenario.Roadside(scenario.WithFixedLengths(), scenario.WithBudgetFraction(budgetFrac))
-	sweeps, err := analysis.SweepTargets(base, analysis.PaperTargets())
+	sweeps, err := analysis.SweepTargetsParallel(base, analysis.PaperTargets(), p.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	return sweepTables(id, "analysis", sweeps), nil
 }
 
+// schedulerFactory builds the scheduler factory for one simulation
+// sweep point. SNIP-OPT plans are solved through the sweep's shared
+// evaluator so the optimizer's slot curves are tabulated once per
+// figure instead of once per target; AT and RH parameterization is
+// cheap and goes through the standard path.
+func schedulerFactory(ev *analysis.Evaluator, sc *scenario.Scenario, m sim.Mechanism) (func() (core.Scheduler, error), error) {
+	if m != sim.MechanismOPT {
+		return sim.SchedulerFactory(sc, m)
+	}
+	plan, err := ev.OPTPlan(sc.ZetaTarget)
+	if err != nil {
+		return nil, err
+	}
+	return func() (core.Scheduler, error) {
+		return core.NewOPTFollower(plan.Duty, sc.PhiMax)
+	}, nil
+}
+
 // runSimulationFigure produces the three sub-plots of Figure 7 or 8 by
 // full simulation (normal-distributed intervals and lengths, two weeks,
-// per-day averages), mirroring §VII.A.2.
-func runSimulationFigure(id string, budgetFrac float64, seed uint64) ([]*Table, error) {
-	sweeps := make([]analysis.Sweep, 3)
+// per-day averages), mirroring §VII.A.2. The target x mechanism grid
+// fans out across the worker pool; every grid point derives its
+// randomness from the seed alone and writes its own sweep slot, so the
+// tables are bit-identical for any parallelism.
+func runSimulationFigure(id string, budgetFrac float64, p Params) ([]*Table, error) {
+	targets := analysis.PaperTargets()
 	mechanisms := []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH}
+	base := scenario.Roadside(scenario.WithBudgetFraction(budgetFrac))
+	ev, err := analysis.NewEvaluator(base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	sweeps := make([]analysis.Sweep, len(mechanisms))
 	for i, m := range mechanisms {
 		sweeps[i].Mechanism = m.String()
+		sweeps[i].Points = make([]analysis.MechanismResult, len(targets))
 	}
-	for _, target := range analysis.PaperTargets() {
-		sc := scenario.Roadside(
-			scenario.WithBudgetFraction(budgetFrac),
-			scenario.WithZetaTarget(target),
-		)
-		for i, m := range mechanisms {
-			factory, err := sim.SchedulerFactory(sc, m)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s %v target %g: %w", id, m, target, err)
-			}
-			res, err := sim.Run(sim.Config{
-				Scenario:     sc,
-				NewScheduler: factory,
-				Epochs:       SimEpochs,
-				Seed:         seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s %v target %g: %w", id, m, target, err)
-			}
-			rho := math.Inf(1)
-			if res.Summary.MeanZeta > 0 {
-				rho = res.Summary.MeanPhi / res.Summary.MeanZeta
-			}
-			sweeps[i].Points = append(sweeps[i].Points, analysis.MechanismResult{
-				ZetaTarget: target,
-				Zeta:       res.Summary.MeanZeta,
-				Phi:        res.Summary.MeanPhi,
-				Rho:        rho,
-				TargetMet:  res.Summary.MeanZeta >= target-1e-9,
-			})
+	err = pool.ForEachGrid(len(targets), len(mechanisms), p.Parallelism, func(ti, mi int) error {
+		target, m := targets[ti], mechanisms[mi]
+		sc := ev.Scenario(target)
+		factory, err := schedulerFactory(ev, sc, m)
+		if err != nil {
+			return fmt.Errorf("experiments: %s %v target %g: %w", id, m, target, err)
 		}
+		res, err := sim.Run(sim.Config{
+			Scenario:     sc,
+			NewScheduler: factory,
+			Epochs:       SimEpochs,
+			Seed:         p.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: %s %v target %g: %w", id, m, target, err)
+		}
+		rho := math.Inf(1)
+		if res.Summary.MeanZeta > 0 {
+			rho = res.Summary.MeanPhi / res.Summary.MeanZeta
+		}
+		sweeps[mi].Points[ti] = analysis.MechanismResult{
+			ZetaTarget: target,
+			Zeta:       res.Summary.MeanZeta,
+			Phi:        res.Summary.MeanPhi,
+			Rho:        rho,
+			TargetMet:  res.Summary.MeanZeta >= target-1e-9,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sweepTables(id, "simulation", sweeps), nil
 }
@@ -322,7 +363,7 @@ func sweepTables(id, kind string, sweeps []analysis.Sweep) []*Table {
 // runExtLearn measures how quickly the §VII.B bootstrap identifies the
 // true rush hours: a learner fed by probed contacts from SNIP-AT at a
 // very small duty cycle, scored against the engineered mask per epoch.
-func runExtLearn(seed uint64) ([]*Table, error) {
+func runExtLearn(p Params) ([]*Table, error) {
 	sc := scenario.Roadside(scenario.WithZetaTarget(24))
 	reference := sc.RushMask()
 	const (
@@ -339,7 +380,7 @@ func runExtLearn(seed uint64) ([]*Table, error) {
 		Scenario:     sc,
 		NewScheduler: func() (core.Scheduler, error) { return core.NewAT(bootDuty) },
 		Epochs:       epochs,
-		Seed:         seed,
+		Seed:         p.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -365,7 +406,7 @@ func runExtLearn(seed uint64) ([]*Table, error) {
 // runExtShift runs the adaptive scheduler against an environment whose
 // rush hours move by three slots halfway through, reporting per-epoch
 // probed capacity for the static and adaptive variants.
-func runExtShift(seed uint64) ([]*Table, error) {
+func runExtShift(p Params) ([]*Table, error) {
 	sc := scenario.Roadside(scenario.WithZetaTarget(16))
 	const epochs = 24
 	shiftAt := simtime.Instant(12 * sc.Epoch)
@@ -384,7 +425,7 @@ func runExtShift(seed uint64) ([]*Table, error) {
 			Scenario:     sc,
 			NewScheduler: factory,
 			Epochs:       epochs,
-			Seed:         seed,
+			Seed:         p.Seed,
 			Shift:        shift,
 		})
 	}
@@ -416,7 +457,7 @@ func runExtShift(seed uint64) ([]*Table, error) {
 // runExtDrh sweeps the RH duty cycle around the knee and reports rho,
 // validating §VI.C's claim that rho is flat below the knee and grows
 // slowly just above it.
-func runExtDrh(uint64) ([]*Table, error) {
+func runExtDrh(Params) ([]*Table, error) {
 	sc := scenario.Roadside(scenario.WithFixedLengths())
 	cfg := sc.Radio
 	const (
@@ -438,7 +479,7 @@ func runExtDrh(uint64) ([]*Table, error) {
 
 // runExtExponential compares expected Upsilon for fixed versus
 // exponential contact lengths across duty cycles (footnote 1).
-func runExtExponential(uint64) ([]*Table, error) {
+func runExtExponential(Params) ([]*Table, error) {
 	sc := scenario.Roadside(scenario.WithFixedLengths())
 	cfg := sc.Radio
 	t := &Table{
@@ -456,37 +497,59 @@ func runExtExponential(uint64) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// simGrid fills t.Rows for a rows x cols grid of independent
+// simulation runs fanned out through the worker pool: row r gets
+// rowVals[r] in column 0 and metric(point(r, c)'s result) in column
+// 1+c. Every cell derives its randomness from p.Seed alone and writes
+// its own slot, so the table is bit-identical for any parallelism.
+func simGrid(t *Table, rowVals []float64, cols, epochs int, p Params,
+	point func(r, c int) (*scenario.Scenario, sim.Mechanism),
+	metric func(*sim.Result) float64) error {
+	t.Rows = make([][]float64, len(rowVals))
+	for i, v := range rowVals {
+		t.Rows[i] = make([]float64, 1+cols)
+		t.Rows[i][0] = v
+	}
+	return pool.ForEachGrid(len(rowVals), cols, p.Parallelism, func(r, c int) error {
+		sc, m := point(r, c)
+		factory, err := sim.SchedulerFactory(sc, m)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Config{
+			Scenario:     sc,
+			NewScheduler: factory,
+			Epochs:       epochs,
+			Seed:         p.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		t.Rows[r][1+c] = metric(res)
+		return nil
+	})
+}
+
 // runExtLoss sweeps the beacon loss probability and reports each
 // mechanism's probed capacity.
-func runExtLoss(seed uint64) ([]*Table, error) {
+func runExtLoss(p Params) ([]*Table, error) {
 	t := &Table{
 		Title:   "ext-loss: probed capacity per epoch vs beacon loss probability (target 24s, PhiMax=Tepoch/100)",
 		Columns: []string{"loss_prob", "SNIP-AT_zeta_s", "SNIP-OPT_zeta_s", "SNIP-RH_zeta_s"},
 	}
-	for _, loss := range []float64{0, 0.1, 0.25, 0.5} {
-		row := []float64{loss}
-		sc := scenario.Roadside(
-			scenario.WithZetaTarget(24),
-			scenario.WithBudgetFraction(1.0/100),
-			scenario.WithBeaconLoss(loss),
-		)
-		for _, m := range []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH} {
-			factory, err := sim.SchedulerFactory(sc, m)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Scenario:     sc,
-				NewScheduler: factory,
-				Epochs:       7,
-				Seed:         seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Summary.MeanZeta)
-		}
-		t.Rows = append(t.Rows, row)
+	losses := []float64{0, 0.1, 0.25, 0.5}
+	mechanisms := []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH}
+	err := simGrid(t, losses, len(mechanisms), 7, p,
+		func(li, mi int) (*scenario.Scenario, sim.Mechanism) {
+			return scenario.Roadside(
+				scenario.WithZetaTarget(24),
+				scenario.WithBudgetFraction(1.0/100),
+				scenario.WithBeaconLoss(losses[li]),
+			), mechanisms[mi]
+		},
+		func(res *sim.Result) float64 { return res.Summary.MeanZeta })
+	if err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }

@@ -42,7 +42,7 @@ func TestIDsSorted(t *testing.T) {
 }
 
 func TestFig3Shares(t *testing.T) {
-	tables, err := Registry()["fig3"].Run(1)
+	tables, err := Registry()["fig3"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestFig3Shares(t *testing.T) {
 }
 
 func TestFig4Surface(t *testing.T) {
-	tables, err := Registry()["fig4"].Run(1)
+	tables, err := Registry()["fig4"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestFig4Surface(t *testing.T) {
 }
 
 func TestFig5AnalysisTables(t *testing.T) {
-	tables, err := Registry()["fig5"].Run(1)
+	tables, err := Registry()["fig5"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFig5AnalysisTables(t *testing.T) {
 }
 
 func TestFig6AnalysisTables(t *testing.T) {
-	tables, err := Registry()["fig6"].Run(1)
+	tables, err := Registry()["fig6"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestFig6AnalysisTables(t *testing.T) {
 }
 
 func TestExtDrhFlatBelowKnee(t *testing.T) {
-	tables, err := Registry()["ext-drh"].Run(1)
+	tables, err := Registry()["ext-drh"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestExtDrhFlatBelowKnee(t *testing.T) {
 }
 
 func TestExtExponentialSlopeChange(t *testing.T) {
-	tables, err := Registry()["ext-exp"].Run(1)
+	tables, err := Registry()["ext-exp"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

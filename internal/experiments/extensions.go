@@ -60,7 +60,7 @@ func extendedExperiments() []*Experiment {
 // avoidance the overlapping acks waste beacons; picking one responder
 // (randomly or by remaining dwell) recovers the capacity — and the
 // resolve policy slightly beats random by preferring the longer dwell.
-func runExtContention(seed uint64) ([]*Table, error) {
+func runExtContention(p Params) ([]*Table, error) {
 	t := &Table{
 		Title:   "ext-contention: SNIP-RH probed capacity with group arrivals (target 32s, budget Tepoch/100)",
 		Columns: []string{"group_prob", "resolve_zeta_s", "random_zeta_s", "collide_zeta_s"},
@@ -74,37 +74,25 @@ func runExtContention(seed uint64) ([]*Table, error) {
 		scenario.ContentionRandom,
 		scenario.ContentionNone,
 	}
-	for _, groupProb := range []float64{0, 0.25, 0.5} {
-		row := []float64{groupProb}
-		for _, policy := range policies {
-			sc := scenario.Roadside(
+	probs := []float64{0, 0.25, 0.5}
+	err := simGrid(t, probs, len(policies), 7, p,
+		func(gi, pi int) (*scenario.Scenario, sim.Mechanism) {
+			return scenario.Roadside(
 				scenario.WithZetaTarget(32),
 				scenario.WithBudgetFraction(1.0/100),
-				scenario.WithGroupArrivals(groupProb, policy),
-			)
-			factory, err := sim.SchedulerFactory(sc, sim.MechanismRH)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Scenario:     sc,
-				NewScheduler: factory,
-				Epochs:       7,
-				Seed:         seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Summary.MeanZeta)
-		}
-		t.Rows = append(t.Rows, row)
+				scenario.WithGroupArrivals(probs[gi], policies[pi]),
+			), sim.MechanismRH
+		},
+		func(res *sim.Result) float64 { return res.Summary.MeanZeta })
+	if err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
 
 // runExtMIP tabulates the §III claim: sensor node-initiated probing
 // beats mobile node-initiated probing by 2-10x at duty cycles below 1%.
-func runExtMIP(uint64) ([]*Table, error) {
+func runExtMIP(Params) ([]*Table, error) {
 	mip := model.DefaultMIP()
 	t := &Table{
 		Title:   "ext-mip: probed fraction Upsilon and SNIP/MIP gain vs duty cycle (2s contacts)",
@@ -127,7 +115,7 @@ func runExtMIP(uint64) ([]*Table, error) {
 // day. The paper's intro frames opportunistic collection as
 // delay-tolerant; this quantifies what RH's energy savings cost in
 // freshness.
-func runExtLatency(seed uint64) ([]*Table, error) {
+func runExtLatency(p Params) ([]*Table, error) {
 	t := &Table{
 		Title:   "ext-latency: mean data delivery latency (sensing -> upload) per mechanism, target 24s",
 		Columns: []string{"budget_frac_inv", "SNIP-AT_latency_s", "SNIP-OPT_latency_s", "SNIP-RH_latency_s"},
@@ -136,29 +124,18 @@ func runExtLatency(seed uint64) ([]*Table, error) {
 			"(critically loaded queue, backlog balloons), while RH's rush-hour slack drains the buffer twice a day",
 		},
 	}
-	for _, inv := range []float64{1000, 100} {
-		row := []float64{inv}
-		sc := scenario.Roadside(
-			scenario.WithZetaTarget(24),
-			scenario.WithBudgetFraction(1/inv),
-		)
-		for _, m := range []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH} {
-			factory, err := sim.SchedulerFactory(sc, m)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Scenario:     sc,
-				NewScheduler: factory,
-				Epochs:       SimEpochs,
-				Seed:         seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Summary.MeanLatency)
-		}
-		t.Rows = append(t.Rows, row)
+	invs := []float64{1000, 100}
+	mechanisms := []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH}
+	err := simGrid(t, invs, len(mechanisms), SimEpochs, p,
+		func(bi, mi int) (*scenario.Scenario, sim.Mechanism) {
+			return scenario.Roadside(
+				scenario.WithZetaTarget(24),
+				scenario.WithBudgetFraction(1/invs[bi]),
+			), mechanisms[mi]
+		},
+		func(res *sim.Result) float64 { return res.Summary.MeanLatency })
+	if err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -166,7 +143,7 @@ func runExtLatency(seed uint64) ([]*Table, error) {
 // runExtRL pits the per-slot epsilon-greedy bandit against SNIP-RH on
 // the road-side scenario, echoing the paper's argument that RL learns
 // too slowly from the sparse feedback a low duty cycle yields (§VIII).
-func runExtRL(seed uint64) ([]*Table, error) {
+func runExtRL(p Params) ([]*Table, error) {
 	sc := scenario.Roadside(
 		scenario.WithZetaTarget(24),
 		scenario.WithBudgetFraction(1.0/100),
@@ -181,18 +158,18 @@ func runExtRL(seed uint64) ([]*Table, error) {
 			EnergyPrice: 1.0 / 3, // worth probing below SNIP-RH's rho
 			SlotSeconds: sc.SlotLen().Seconds(),
 			Alpha:       0.3,
-			Seed:        seed,
+			Seed:        p.Seed,
 		})
 	}
 	rhFactory, err := sim.SchedulerFactory(sc, sim.MechanismRH)
 	if err != nil {
 		return nil, err
 	}
-	bandit, err := sim.Run(sim.Config{Scenario: sc, NewScheduler: banditFactory, Epochs: epochs, Seed: seed})
+	bandit, err := sim.Run(sim.Config{Scenario: sc, NewScheduler: banditFactory, Epochs: epochs, Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
-	rh, err := sim.Run(sim.Config{Scenario: sc, NewScheduler: rhFactory, Epochs: epochs, Seed: seed})
+	rh, err := sim.Run(sim.Config{Scenario: sc, NewScheduler: rhFactory, Epochs: epochs, Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +192,7 @@ func runExtRL(seed uint64) ([]*Table, error) {
 
 // runExtLifetime projects node lifetime on two AA cells from each
 // mechanism's analytical steady-state energy at target 24 s.
-func runExtLifetime(uint64) ([]*Table, error) {
+func runExtLifetime(Params) ([]*Table, error) {
 	sc := scenario.Roadside(
 		scenario.WithFixedLengths(),
 		scenario.WithZetaTarget(24),
@@ -263,10 +240,10 @@ func runExtLifetime(uint64) ([]*Table, error) {
 // (R = 5 m, speeds ~ N(5, 0.5) m/s) and compares the per-slot statistics
 // against the abstract road-side scenario, validating the Fig. 2
 // abstraction this repo's scenarios rely on.
-func runExtMobility(seed uint64) ([]*Table, error) {
+func runExtMobility(p Params) ([]*Table, error) {
 	road := mobility.Road{Range: 5, ClosestApproach: 0}
 	pattern := mobility.CommuterPattern(300, 1800, 5)
-	gen, err := mobility.NewGenerator(road, pattern, rng.Derive(seed, "mobility"))
+	gen, err := mobility.NewGenerator(road, pattern, rng.Derive(p.Seed, "mobility"))
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestExtMIPGainBand(t *testing.T) {
-	tables, err := Registry()["ext-mip"].Run(1)
+	tables, err := Registry()["ext-mip"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestExtMIPGainBand(t *testing.T) {
 }
 
 func TestExtLifetimeOrdering(t *testing.T) {
-	tables, err := Registry()["ext-lifetime"].Run(1)
+	tables, err := Registry()["ext-lifetime"].Run(Params{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestExtLifetimeOrdering(t *testing.T) {
 }
 
 func TestExtMobilityMatchesModel(t *testing.T) {
-	tables, err := Registry()["ext-mobility"].Run(3)
+	tables, err := Registry()["ext-mobility"].Run(Params{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestExtMobilityMatchesModel(t *testing.T) {
 }
 
 func TestExtLatencyShape(t *testing.T) {
-	tables, err := Registry()["ext-latency"].Run(2)
+	tables, err := Registry()["ext-latency"].Run(Params{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestExtLatencyShape(t *testing.T) {
 }
 
 func TestExtRLBanditLagsRH(t *testing.T) {
-	tables, err := Registry()["ext-rl"].Run(4)
+	tables, err := Registry()["ext-rl"].Run(Params{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

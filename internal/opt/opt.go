@@ -79,16 +79,57 @@ const tol = 1e-9
 // reach ZetaTarget, the step-1 plan is returned with TargetMet=false (the
 // sensor node is expected to lower its data rate); otherwise the minimal-
 // energy plan meeting the target is returned.
+//
+// Callers solving many (PhiMax, ZetaTarget) points over the same slots
+// should build a Solver once instead: the per-slot capacity curves — the
+// expensive part for distributed contact lengths, whose saturating
+// branch is tabulated by quadrature — depend only on the slots, not on
+// the budget or target.
 func Solve(p Problem) (Plan, error) {
-	if err := p.validate(); err != nil {
+	s, err := NewSolver(p)
+	if err != nil {
 		return Plan{}, err
 	}
-	maxPlan := maximizeZeta(p)
+	return s.Solve(p.PhiMax, p.ZetaTarget)
+}
+
+// Solver memoizes the per-slot capacity curves of a problem so that
+// repeated solves across budgets and targets (experiment sweeps) pay
+// the curve-tabulation quadrature once. The precomputed state is
+// read-only after construction, so a Solver may be shared by concurrent
+// Solve calls.
+type Solver struct {
+	p      Problem
+	curves []slotCurve
+}
+
+// NewSolver validates the problem and precomputes its slot curves. The
+// PhiMax and ZetaTarget carried by p are only defaults; each Solve call
+// supplies its own.
+func NewSolver(p Problem) (*Solver, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Solver{p: p, curves: buildCurves(p)}, nil
+}
+
+// Solve runs the two-step optimization for one (budget, target) point,
+// reusing the precomputed curves.
+func (s *Solver) Solve(phiMax, zetaTarget float64) (Plan, error) {
+	if phiMax < 0 {
+		return Plan{}, fmt.Errorf("opt: negative energy budget %g", phiMax)
+	}
+	if zetaTarget < 0 {
+		return Plan{}, fmt.Errorf("opt: negative capacity target %g", zetaTarget)
+	}
+	p := s.p
+	p.PhiMax = phiMax
+	p.ZetaTarget = zetaTarget
+	maxPlan := maximizeZeta(p, s.curves)
 	if maxPlan.Zeta < p.ZetaTarget-tol {
 		return maxPlan, nil
 	}
-	minPlan := minimizePhi(p)
-	return minPlan, nil
+	return minimizePhi(p, s.curves), nil
 }
 
 func (p Problem) validate() error {
@@ -252,8 +293,7 @@ func (c slotCurve) phiForMarginal(lambda float64) float64 {
 }
 
 // maximizeZeta implements step 1: spend at most PhiMax to maximize zeta.
-func maximizeZeta(p Problem) Plan {
-	curves := buildCurves(p)
+func maximizeZeta(p Problem, curves []slotCurve) Plan {
 	total := func(lambda float64) float64 {
 		s := 0.0
 		for _, c := range curves {
@@ -295,8 +335,7 @@ func maximizeZeta(p Problem) Plan {
 // minimizePhi implements step 2: reach ZetaTarget with minimal energy.
 // Feasibility (max zeta >= target under budget) is established by step 1
 // before this is called.
-func minimizePhi(p Problem) Plan {
-	curves := buildCurves(p)
+func minimizePhi(p Problem, curves []slotCurve) Plan {
 	if p.ZetaTarget <= tol {
 		return assemble(p, curves, make([]float64, len(curves)), true)
 	}

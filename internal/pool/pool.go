@@ -1,0 +1,97 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// experiment engine: replications, sweep points, and experiment grids
+// all fan out through ForEach.
+//
+// The contract that keeps parallel results bit-identical to serial runs
+// is positional: fn(i) must write its result into slot i of a
+// caller-owned slice (never append), the caller must aggregate in index
+// order after ForEach returns, and on error the caller must discard the
+// partial results. Work items therefore may not depend on each other,
+// only on the index.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default parallelism: GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Resolve normalizes a user-facing parallelism knob: values <= 0 mean
+// "use the default" (GOMAXPROCS).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines (workers <= 0 selects DefaultWorkers); with workers == 1
+// it degenerates to a plain loop on the calling goroutine.
+//
+// After a failure no new indices are started (in-flight work finishes),
+// and the lowest-index error among the attempted indices is returned.
+// Indices are handed out in order, so when fn is deterministic the
+// returned error is the same for every worker count even though the
+// amount of work attempted after the failure may differ.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		errs    = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stopped.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachGrid runs fn(r, c) over a rows x cols grid through ForEach,
+// row-major. It factors out the index arithmetic the experiment sweeps
+// (target x mechanism, loss x mechanism, ...) all share.
+func ForEachGrid(rows, cols, workers int, fn func(r, c int) error) error {
+	if rows <= 0 || cols <= 0 {
+		return nil
+	}
+	return ForEach(rows*cols, workers, func(k int) error {
+		return fn(k/cols, k%cols)
+	})
+}

@@ -1,0 +1,78 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		got := make([]int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&got[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The reported error must be the lowest-index one regardless of
+// scheduling, so parallel failures are as reproducible as serial ones.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(50, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Errorf("workers=%d: err = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestForEachGridCoversAllCells(t *testing.T) {
+	const rows, cols = 5, 3
+	var got [rows][cols]int32
+	if err := ForEachGrid(rows, cols, 4, func(r, c int) error {
+		atomic.AddInt32(&got[r][c], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := range got {
+		for c := range got[r] {
+			if got[r][c] != 1 {
+				t.Fatalf("cell (%d,%d) ran %d times", r, c, got[r][c])
+			}
+		}
+	}
+	if err := ForEachGrid(0, 3, 1, func(int, int) error { return errors.New("no") }); err != nil {
+		t.Error("empty grid should be a no-op")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(0) != DefaultWorkers() || Resolve(-3) != DefaultWorkers() {
+		t.Error("non-positive parallelism should resolve to the default")
+	}
+	if Resolve(5) != 5 {
+		t.Error("positive parallelism should pass through")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"rushprobe/internal/contact"
 	"rushprobe/internal/core"
 	"rushprobe/internal/des"
+	"rushprobe/internal/pool"
 	"rushprobe/internal/radio"
 	"rushprobe/internal/rng"
 	"rushprobe/internal/scenario"
@@ -54,6 +55,13 @@ type Config struct {
 	// Shift optionally displaces the mobility pattern over time
 	// (seasonal drift experiments).
 	Shift contact.ShiftFunc
+	// Parallelism bounds how many replications RunReplications runs
+	// concurrently (single runs are always sequential inside). Zero or
+	// negative means GOMAXPROCS; 1 forces serial execution. Results are
+	// bit-identical for every setting: each replication derives its own
+	// RNG sub-streams from (Seed, index) and the aggregate is folded in
+	// replication order.
+	Parallelism int
 }
 
 func (c *Config) validate() error {
@@ -184,9 +192,14 @@ type node struct {
 	// Radio/duty-cycle state.
 	active     bool
 	duty       float64
-	nextBeacon *des.Event
-	radioOff   *des.Event
+	nextBeacon des.EventRef
+	radioOff   des.EventRef
 	uploading  bool
+
+	// Handlers bound once so the per-beacon scheduling in the hot path
+	// does not allocate a method-value closure per event.
+	beaconFn   des.Handler
+	radioOffFn des.Handler
 
 	// Data buffer with lazy accrual and FIFO latency tracking.
 	buf *dataBuffer
@@ -229,6 +242,8 @@ func newNode(cfg Config, sched core.Scheduler) (*node, error) {
 		lossRng: rng.DeriveN(cfg.Seed, "beacon-loss", 0),
 		buf:     newDataBuffer(cfg.Scenario.DataRate(), cfg.Scenario.BufferCap),
 	}
+	n.beaconFn = n.onBeacon
+	n.radioOffFn = n.onRadioOff
 	n.resetEpochMetrics(0)
 	return n, nil
 }
@@ -338,7 +353,7 @@ func (n *node) stopCycle(now simtime.Instant) {
 	}
 	n.sim.Cancel(n.nextBeacon)
 	n.sim.Cancel(n.radioOff)
-	n.nextBeacon, n.radioOff = nil, nil
+	n.nextBeacon, n.radioOff = des.EventRef{}, des.EventRef{}
 	if n.meter.State() != radio.Off {
 		n.meter.TurnOff(now)
 	}
@@ -362,12 +377,19 @@ func (n *node) startCycle(now simtime.Instant, duty float64, resume bool) {
 			first = now.Add(dc.Toff())
 		}
 	}
-	ev, err := n.sim.ScheduleAt(first, "beacon", n.onBeacon)
+	ev, err := n.sim.ScheduleAt(first, "beacon", n.beaconFn)
 	if err != nil {
 		n.active = false
 		return
 	}
 	n.nextBeacon = ev
+}
+
+// onRadioOff ends an unprobed on-period (bound once as radioOffFn).
+func (n *node) onRadioOff(at simtime.Instant) {
+	if n.meter.State() != radio.Off && !n.uploading {
+		n.meter.TurnOff(at)
+	}
 }
 
 // onBeacon is the start of a radio on-period: SNIP transmits a beacon
@@ -391,11 +413,7 @@ func (n *node) onBeacon(now simtime.Instant) {
 
 	// No probe: listen out the on-period, then sleep until the next
 	// cycle start.
-	off, err := n.sim.ScheduleAt(now.Add(ton), "radio-off", func(at simtime.Instant) {
-		if n.meter.State() != radio.Off && !n.uploading {
-			n.meter.TurnOff(at)
-		}
-	})
+	off, err := n.sim.ScheduleAt(now.Add(ton), "radio-off", n.radioOffFn)
 	if err == nil {
 		n.radioOff = off
 	}
@@ -403,7 +421,7 @@ func (n *node) onBeacon(now simtime.Instant) {
 	if err != nil {
 		return
 	}
-	next, err := n.sim.ScheduleAt(now.Add(dc.Cycle()), "beacon", n.onBeacon)
+	next, err := n.sim.ScheduleAt(now.Add(dc.Cycle()), "beacon", n.beaconFn)
 	if err == nil {
 		n.nextBeacon = next
 	}
@@ -474,7 +492,7 @@ func (n *node) probe(now simtime.Instant, lc *liveContact) {
 	// Cancel the probing cycle while the transfer runs.
 	n.sim.Cancel(n.nextBeacon)
 	n.sim.Cancel(n.radioOff)
-	n.nextBeacon, n.radioOff = nil, nil
+	n.nextBeacon, n.radioOff = des.EventRef{}, des.EventRef{}
 
 	if uploadDur <= 0 {
 		// Nothing to send: treat like an ordinary on-period. Account a
@@ -618,21 +636,32 @@ type Replicated struct {
 }
 
 // RunReplications executes reps independent runs with derived seeds and
-// aggregates their summaries.
+// aggregates their summaries. Replications fan out across the bounded
+// worker pool (cfg.Parallelism workers, default GOMAXPROCS); each
+// replication's seed depends only on (cfg.Seed, index) and the
+// summaries are folded in replication order, so the output is
+// bit-identical to a serial run.
 func RunReplications(cfg Config, reps int) (*Replicated, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("sim: replications must be positive, got %d", reps)
 	}
-	out := &Replicated{Runs: make([]*Result, 0, reps)}
-	var zeta, phi stats.Welford
-	for r := 0; r < reps; r++ {
+	runs := make([]*Result, reps)
+	err := pool.ForEach(reps, cfg.Parallelism, func(r int) error {
 		c := cfg
 		c.Seed = uint64(rng.DeriveN(cfg.Seed, "replication", r).Intn(1 << 31))
 		res, err := Run(c)
 		if err != nil {
-			return nil, fmt.Errorf("sim: replication %d: %w", r, err)
+			return fmt.Errorf("sim: replication %d: %w", r, err)
 		}
-		out.Runs = append(out.Runs, res)
+		runs[r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Replicated{Runs: runs}
+	var zeta, phi stats.Welford
+	for _, res := range runs {
 		zeta.Observe(res.Summary.MeanZeta)
 		phi.Observe(res.Summary.MeanPhi)
 	}

@@ -328,22 +328,50 @@ type SimOption func(*simOpts)
 
 type simOpts struct {
 	epochs       int
+	epochsSet    bool
 	warmup       int
+	warmupSet    bool
 	seed         uint64
+	seedSet      bool
 	shiftAtEpoch int
 	shiftBy      int
-	replications int
+	shiftSet     bool
+	parallelism  int
 }
 
 // WithEpochs sets the number of simulated epochs (default 14, the
 // paper's two weeks).
-func WithEpochs(n int) SimOption { return func(o *simOpts) { o.epochs = n } }
+func WithEpochs(n int) SimOption {
+	return func(o *simOpts) {
+		o.epochs = n
+		o.epochsSet = true
+	}
+}
 
 // WithWarmup excludes the first n epochs from the summary.
-func WithWarmup(n int) SimOption { return func(o *simOpts) { o.warmup = n } }
+func WithWarmup(n int) SimOption {
+	return func(o *simOpts) {
+		o.warmup = n
+		o.warmupSet = true
+	}
+}
 
 // WithSeed fixes the random seed (default 1).
-func WithSeed(seed uint64) SimOption { return func(o *simOpts) { o.seed = seed } }
+func WithSeed(seed uint64) SimOption {
+	return func(o *simOpts) {
+		o.seed = seed
+		o.seedSet = true
+	}
+}
+
+// WithParallelism bounds how many independent runs (replications in
+// SimulateReplications, sweep points in RunExperiment) execute
+// concurrently. The default (n <= 0) is GOMAXPROCS; 1 forces serial
+// execution. Results are bit-identical for every setting — each run
+// derives its randomness from the seed and its own index, and
+// aggregation happens in index order — so parallelism is purely a
+// wall-clock knob.
+func WithParallelism(n int) SimOption { return func(o *simOpts) { o.parallelism = n } }
 
 // WithPatternShift displaces the whole mobility pattern by the given
 // number of slots from the given epoch onward (seasonal drift).
@@ -351,6 +379,7 @@ func WithPatternShift(atEpoch, bySlots int) SimOption {
 	return func(o *simOpts) {
 		o.shiftAtEpoch = atEpoch
 		o.shiftBy = bySlots
+		o.shiftSet = true
 	}
 }
 
@@ -378,24 +407,15 @@ type SimSummary struct {
 	PerEpochZeta []float64
 }
 
-// Simulate runs the discrete-event simulation of the scenario under the
-// given mechanism (the method behind Figures 7 and 8) and returns
-// per-epoch averages.
-func Simulate(s *Scenario, m Mechanism, opts ...SimOption) (*SimSummary, error) {
-	if s == nil || s.inner == nil {
-		return nil, errors.New("rushprobe: nil scenario")
-	}
-	o := simOpts{epochs: experiments.SimEpochs, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
-	}
+// simConfig resolves the options into a simulator configuration.
+func simConfig(s *Scenario, m Mechanism, o simOpts) (sim.Config, error) {
 	im, err := m.internal()
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	factory, err := sim.SchedulerFactory(s.inner, im)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	cfg := sim.Config{
 		Scenario:     s.inner,
@@ -403,6 +423,7 @@ func Simulate(s *Scenario, m Mechanism, opts ...SimOption) (*SimSummary, error) 
 		Epochs:       o.epochs,
 		WarmupEpochs: o.warmup,
 		Seed:         o.seed,
+		Parallelism:  o.parallelism,
 	}
 	if o.shiftBy != 0 {
 		epochLen := s.inner.Epoch
@@ -415,10 +436,35 @@ func Simulate(s *Scenario, m Mechanism, opts ...SimOption) (*SimSummary, error) 
 			return by
 		}
 	}
+	return cfg, nil
+}
+
+// Simulate runs the discrete-event simulation of the scenario under the
+// given mechanism (the method behind Figures 7 and 8) and returns
+// per-epoch averages. A single run is inherently sequential (the
+// discrete-event loop is a serial dependency chain); use
+// SimulateReplications to spread statistical power across cores.
+func Simulate(s *Scenario, m Mechanism, opts ...SimOption) (*SimSummary, error) {
+	if s == nil || s.inner == nil {
+		return nil, errors.New("rushprobe: nil scenario")
+	}
+	o := simOpts{epochs: experiments.SimEpochs, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg, err := simConfig(s, m, o)
+	if err != nil {
+		return nil, err
+	}
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return newSimSummary(res), nil
+}
+
+// newSimSummary converts a simulator result into the public summary.
+func newSimSummary(res *sim.Result) *SimSummary {
 	perEpoch := make([]float64, len(res.Epochs))
 	for i, em := range res.Epochs {
 		perEpoch[i] = em.Zeta
@@ -437,7 +483,61 @@ func Simulate(s *Scenario, m Mechanism, opts ...SimOption) (*SimSummary, error) 
 		ZetaCI95:        res.Summary.ZetaCI95,
 		PhiCI95:         res.Summary.PhiCI95,
 		PerEpochZeta:    perEpoch,
-	}, nil
+	}
+}
+
+// ReplicatedSummary aggregates independent replications of one
+// simulation, each run with its own derived seed.
+type ReplicatedSummary struct {
+	// Mechanism is the scheduler that produced the results.
+	Mechanism Mechanism
+	// Replications is the number of independent runs.
+	Replications int
+	// Zeta, Phi and Rho are across-replication means of the per-epoch
+	// means (Rho = Phi/Zeta of the means).
+	Zeta, Phi, Rho float64
+	// ZetaCI95 and PhiCI95 are 95% confidence half-widths across
+	// replications.
+	ZetaCI95, PhiCI95 float64
+	// Runs holds each replication's summary, in replication order.
+	Runs []*SimSummary
+}
+
+// SimulateReplications runs the simulation reps times with seeds
+// derived from the base seed and aggregates the outcomes. Replications
+// fan out across a bounded worker pool — WithParallelism sets the
+// width, defaulting to GOMAXPROCS — and the result is bit-identical to
+// a serial run for any width.
+func SimulateReplications(s *Scenario, m Mechanism, reps int, opts ...SimOption) (*ReplicatedSummary, error) {
+	if s == nil || s.inner == nil {
+		return nil, errors.New("rushprobe: nil scenario")
+	}
+	o := simOpts{epochs: experiments.SimEpochs, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg, err := simConfig(s, m, o)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sim.RunReplications(cfg, reps)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplicatedSummary{
+		Mechanism:    Mechanism(rep.Runs[0].SchedulerName),
+		Replications: len(rep.Runs),
+		Zeta:         rep.MeanZeta,
+		Phi:          rep.MeanPhi,
+		Rho:          rep.Rho,
+		ZetaCI95:     rep.ZetaCI95,
+		PhiCI95:      rep.PhiCI95,
+		Runs:         make([]*SimSummary, len(rep.Runs)),
+	}
+	for i, r := range rep.Runs {
+		out.Runs[i] = newSimSummary(r)
+	}
+	return out, nil
 }
 
 // Table is an experiment's tabular output.
@@ -477,13 +577,29 @@ func ExperimentDescription(id string) (string, error) {
 	return e.Description, nil
 }
 
-// RunExperiment regenerates one figure's data tables.
-func RunExperiment(id string, seed uint64) ([]*Table, error) {
+// RunExperiment regenerates one figure's data tables. Simulation-based
+// experiments fan their sweep grids out across the worker pool; of the
+// simulation options only WithParallelism and WithSeed apply here —
+// experiments fix their own epochs, warmup, and shifts, so passing
+// WithEpochs, WithWarmup, or WithPatternShift is an error rather than
+// a silent no-op. WithSeed, when given, overrides the positional seed.
+// Tables are bit-identical for every parallelism setting.
+func RunExperiment(id string, seed uint64, opts ...SimOption) ([]*Table, error) {
 	e, ok := experiments.Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("rushprobe: unknown experiment %q (known: %v)", id, experiments.IDs())
 	}
-	tabs, err := e.Run(seed)
+	var o simOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.epochsSet || o.warmupSet || o.shiftSet {
+		return nil, fmt.Errorf("rushprobe: experiment %s fixes its own epochs/warmup/shift; only WithSeed and WithParallelism apply", id)
+	}
+	if o.seedSet {
+		seed = o.seed
+	}
+	tabs, err := e.Run(experiments.Params{Seed: seed, Parallelism: o.parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("rushprobe: experiment %s: %w", id, err)
 	}
