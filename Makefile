@@ -1,17 +1,22 @@
 GO ?= go
 
-.PHONY: all build test race fmt vet bench-smoke bench-baseline
+.PHONY: all build build-cmds test race fmt vet bench-smoke bench-baseline serve smoke-fleet
 
 all: fmt vet build test
 
 build:
 	$(GO) build ./...
 
+# Link every cmd/* binary into bin/. `go build ./...` compiles the cmd
+# packages but does not link main binaries, so CI runs this too.
+build-cmds:
+	$(GO) build -o bin/ ./cmd/...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/
+	$(GO) test -race . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/fleet/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -19,11 +24,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Fast perf sanity check: the DES hot path (must stay 0 allocs/op) and
-# the replication fan-out.
+# Run the fleet daemon on :8080 (see README "Running the daemon").
+serve:
+	$(GO) run ./cmd/rushprobed -addr :8080
+
+# End-to-end fleet smoke: build the binaries, generate a contact trace
+# with tracegen, start rushprobed against a loopback listener, ingest
+# the trace over HTTP, and assert a schedule comes back.
+smoke-fleet: build-cmds
+	./bin/tracegen -days 4 -seed 7 > bin/smoke-trace.csv
+	./bin/rushprobed -smoke -trace bin/smoke-trace.csv -smoke-nodes 8
+
+# Fast perf sanity check: the DES hot path (must stay 0 allocs/op), the
+# replication fan-out, and the fleet ingest path (must stay
+# allocation-free at steady state).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkDES' -benchtime 10000x ./internal/des/
 	$(GO) test -run '^$$' -bench 'BenchmarkReplications' -benchtime 1x ./internal/sim/
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 10000x .
 
 # Snapshot the full benchmark suite (figures + micro-benchmarks) into
 # BENCH_baseline.json so perf regressions show up as diffs. Tables and

@@ -1,7 +1,7 @@
 package rushprobe
 
 // The benchmark suite regenerates every data-bearing table and figure of
-// the paper, one benchmark per figure (see DESIGN.md §4 for the index):
+// the paper, one benchmark per figure (IDs from ExperimentIDs):
 //
 //	BenchmarkFig3DemandProfile          Fig. 3 analog (demand unevenness)
 //	BenchmarkFig4MotivationSurface      Fig. 4 (PhiAT/PhiRH surface)
@@ -19,7 +19,7 @@ package rushprobe
 //	BenchmarkAblationBeaconLoss         beacon-loss robustness
 //
 // Each figure benchmark prints the regenerated series once (the paper's
-// rows) and asserts the qualitative shape documented in EXPERIMENTS.md.
+// rows) and asserts the qualitative shape in its own body.
 // Micro-benchmarks of the core components follow at the bottom.
 
 import (
@@ -396,6 +396,86 @@ func BenchmarkSimulateTwoWeeksAT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Simulate(sc, SNIPAT, WithEpochs(14), WithSeed(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetObserve measures the fleet's steady-state ingest path:
+// a pre-built batch of observations across a working set of warm nodes.
+// The path must stay allocation-light (the acceptance bound is <= 2
+// allocs/op for a whole 256-observation batch; it is 0 in practice).
+func BenchmarkFleetObserve(b *testing.B) {
+	f, err := NewFleet(Roadside(WithZetaTarget(24)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 64
+	ids := make([]string, nodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%03d", i)
+	}
+	batch := make([]Observation, 256)
+	now := 0.0
+	fill := func() {
+		for j := range batch {
+			batch[j].Node = ids[j%nodes]
+			batch[j].Time = now
+			batch[j].Length = 2
+			batch[j].Uploaded = -1
+			now += 3.3
+		}
+	}
+	fill()
+	f.Observe(batch) // warm the shards: create every profile up front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		if got := f.Observe(batch); got != len(batch) {
+			b.Fatalf("accepted %d of %d", got, len(batch))
+		}
+	}
+	b.ReportMetric(float64(len(batch)), "obs/op")
+}
+
+// BenchmarkFleetSchedule measures plan serving for warm nodes whose
+// plans are cached (the common case between observation batches).
+func BenchmarkFleetSchedule(b *testing.B) {
+	f, err := NewFleet(Roadside(WithZetaTarget(24)), WithBootstrapEpochs(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 16
+	ids := make([]string, nodes)
+	batch := make([]Observation, 0, 3*24*8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%03d", i)
+		batch = batch[:0]
+		for d := 0; d < 3; d++ {
+			for h := 0; h < 24; h++ {
+				n := 1
+				if h == 7 || h == 8 || h == 17 || h == 18 {
+					n = 8
+				}
+				for k := 0; k < n; k++ {
+					batch = append(batch, Observation{
+						Node:   ids[i],
+						Time:   float64(d)*86400 + float64(h)*3600 + float64(k)*400,
+						Length: 2,
+					})
+				}
+			}
+		}
+		f.Observe(batch)
+		if _, err := f.Schedule(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Schedule(ids[i%nodes]); err != nil {
 			b.Fatal(err)
 		}
 	}

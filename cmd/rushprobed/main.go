@@ -1,0 +1,429 @@
+// Command rushprobed is the fleet daemon: an HTTP/JSON service that
+// ingests batched contact observations from sensor nodes, maintains
+// per-node rush-hour profiles, and serves each node its current probing
+// schedule (bootstrap SNIP-AT until enough epochs are learned, then the
+// mechanism selected with -mechanism).
+//
+// Endpoints:
+//
+//	POST /v1/observe          {"observations":[{"node":"n1","time":3600,"length":2.1,"uploaded":512}, ...]}
+//	GET  /v1/schedule/{node}  current per-slot duty plan + mechanism
+//	GET  /v1/profile/{node}   learned per-node state
+//	GET  /v1/healthz          liveness + fleet counters
+//	POST /v1/snapshot         persist learned state to the -snapshot path
+//
+// With -snapshot the daemon restores learned state at startup (if the
+// file exists) and persists it on SIGINT/SIGTERM, so a restarted daemon
+// serves bit-identical schedules. -smoke runs a self-contained
+// end-to-end check over a real loopback listener and exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"rushprobe"
+	"rushprobe/internal/contact"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+	"rushprobe/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rushprobed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rushprobed", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		zeta       = fs.Float64("zeta", 24, "probed-capacity target in seconds per epoch")
+		budget     = fs.Float64("budget-fraction", 1.0/1000, "energy budget as a fraction of the epoch")
+		bootstrap  = fs.Int("bootstrap-epochs", 3, "epochs of SNIP-AT bootstrap before serving learned plans")
+		shards     = fs.Int("shards", 16, "profile store shard count")
+		mechanism  = fs.String("mechanism", string(rushprobe.SNIPOPT), "plan family served after bootstrap: SNIP-OPT or SNIP-RH")
+		snapshot   = fs.String("snapshot", "", "snapshot file: restored at startup, written on shutdown and POST /v1/snapshot")
+		smoke      = fs.Bool("smoke", false, "run a loopback end-to-end smoke test and exit")
+		smokeTrace = fs.String("trace", "", "contact trace CSV for -smoke (e.g. from tracegen); default: generate internally")
+		smokeNodes = fs.Int("smoke-nodes", 8, "how many synthetic nodes -smoke fans the trace out to")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := rushprobe.NewFleet(
+		rushprobe.Roadside(rushprobe.WithZetaTarget(*zeta), rushprobe.WithBudgetFraction(*budget)),
+		rushprobe.WithBootstrapEpochs(*bootstrap),
+		rushprobe.WithShards(*shards),
+		rushprobe.WithFleetMechanism(rushprobe.Mechanism(*mechanism)),
+	)
+	if err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		if err := loadSnapshot(f, *snapshot); err != nil {
+			return err
+		}
+	}
+	srv := newServer(f, *snapshot)
+	if *smoke {
+		return smokeTest(srv, *smokeTrace, *smokeNodes, out)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(out, "rushprobed: listening on %s\n", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		if err := saveSnapshot(f, *snapshot); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rushprobed: snapshot saved to %s\n", *snapshot)
+	}
+	return nil
+}
+
+// loadSnapshot restores the fleet from path if the file exists; a
+// missing file is a fresh start, not an error.
+func loadSnapshot(f *rushprobe.Fleet, path string) error {
+	file, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return f.Restore(file)
+}
+
+// saveSnapshot persists the fleet atomically: write to a temp file in
+// the same directory, then rename over the target.
+func saveSnapshot(f *rushprobe.Fleet, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := f.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// maxObserveBody bounds an observe request body (64 MiB ≈ 700k
+// observations per batch).
+const maxObserveBody = 64 << 20
+
+// server routes the daemon's HTTP API onto a Fleet.
+type server struct {
+	fleet        *rushprobe.Fleet
+	snapshotPath string
+	start        time.Time
+	mux          *http.ServeMux
+}
+
+func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
+	s := &server{fleet: f, snapshotPath: snapshotPath, start: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("/v1/schedule/", s.handleSchedule)
+	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// observeRequest is the POST /v1/observe body.
+type observeRequest struct {
+	Observations []rushprobe.Observation `json:"observations"`
+}
+
+type observeResponse struct {
+	Received int `json:"received"`
+	Accepted int `json:"accepted"`
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req observeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	accepted := s.fleet.Observe(req.Observations)
+	writeJSON(w, http.StatusOK, observeResponse{Received: len(req.Observations), Accepted: accepted})
+}
+
+// nodeParam extracts the node ID from a /v1/<verb>/{node} path.
+func nodeParam(path, prefix string) string {
+	return strings.TrimPrefix(path, prefix)
+}
+
+// scheduleResponse wraps a schedule with the node it was served for.
+type scheduleResponse struct {
+	Node string `json:"node"`
+	*rushprobe.Schedule
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	node := nodeParam(r.URL.Path, "/v1/schedule/")
+	if node == "" {
+		writeError(w, http.StatusBadRequest, "missing node ID")
+		return
+	}
+	sched, err := s.fleet.Schedule(node)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "schedule: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scheduleResponse{Node: node, Schedule: sched})
+}
+
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	node := nodeParam(r.URL.Path, "/v1/profile/")
+	if node == "" {
+		writeError(w, http.StatusBadRequest, "missing node ID")
+		return
+	}
+	prof, err := s.fleet.Profile(node)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "profile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, prof)
+}
+
+// healthResponse is the GET /v1/healthz body.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	rushprobe.FleetStats
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		FleetStats:    s.fleet.Stats(),
+	})
+}
+
+type snapshotResponse struct {
+	Nodes int    `json:"nodes"`
+	Path  string `json:"path"`
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusBadRequest, "daemon started without -snapshot")
+		return
+	}
+	if err := saveSnapshot(s.fleet, s.snapshotPath); err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Nodes: s.fleet.Stats().Nodes, Path: s.snapshotPath})
+}
+
+// smokeContacts loads the trace CSV (e.g. written by tracegen), or
+// generates the canonical road-side trace when path is empty.
+func smokeContacts(path string) ([]contact.Contact, error) {
+	if path != "" {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		return trace.Read(file)
+	}
+	gen, err := contact.NewGenerator(scenario.Roadside(), rng.New(1))
+	if err != nil {
+		return nil, err
+	}
+	return gen.GenerateUntil(simtime.Instant(4 * simtime.Day)), nil
+}
+
+// smokeTest exercises the daemon end to end over a real loopback
+// listener: ingest a contact trace for a handful of nodes, fetch each
+// node's schedule and profile, and check the health counters.
+func smokeTest(srv *server, tracePath string, nodes int, out io.Writer) error {
+	if nodes <= 0 {
+		return fmt.Errorf("smoke: need at least one node, got %d", nodes)
+	}
+	contacts, err := smokeContacts(tracePath)
+	if err != nil {
+		return err
+	}
+	if len(contacts) == 0 {
+		return errors.New("smoke: empty contact trace")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	obs := make([]rushprobe.Observation, 0, len(contacts)*nodes)
+	for n := 0; n < nodes; n++ {
+		id := fmt.Sprintf("smoke-%03d", n)
+		for _, c := range contacts {
+			obs = append(obs, rushprobe.Observation{
+				Node:     id,
+				Time:     c.Start.Seconds(),
+				Length:   c.Length.Seconds(),
+				Uploaded: -1,
+			})
+		}
+	}
+	body, err := json.Marshal(observeRequest{Observations: obs})
+	if err != nil {
+		return err
+	}
+	var or observeResponse
+	if err := postJSON(base+"/v1/observe", body, &or); err != nil {
+		return err
+	}
+	if or.Accepted != len(obs) {
+		return fmt.Errorf("smoke: accepted %d of %d observations", or.Accepted, len(obs))
+	}
+	fmt.Fprintf(out, "smoke: ingested %d observations (%d contacts x %d nodes)\n", or.Accepted, len(contacts), nodes)
+
+	learned := true
+	for n := 0; n < nodes; n++ {
+		id := fmt.Sprintf("smoke-%03d", n)
+		var sr scheduleResponse
+		if err := getJSON(base+"/v1/schedule/"+id, &sr); err != nil {
+			return fmt.Errorf("smoke: schedule %s: %w", id, err)
+		}
+		if sr.Schedule == nil || len(sr.Duty) == 0 {
+			return fmt.Errorf("smoke: node %s got an empty schedule", id)
+		}
+		if sr.Mechanism == string(rushprobe.SNIPAT) {
+			learned = false
+		}
+		if n == 0 {
+			fmt.Fprintf(out, "smoke: %s serves %s, zeta=%.2f phi=%.2f over %d slots\n",
+				id, sr.Mechanism, sr.Zeta, sr.Phi, len(sr.Duty))
+		}
+	}
+	var hr healthResponse
+	if err := getJSON(base+"/v1/healthz", &hr); err != nil {
+		return err
+	}
+	if hr.Status != "ok" || hr.Nodes != nodes {
+		return fmt.Errorf("smoke: healthz reports %+v, want ok with %d nodes", hr, nodes)
+	}
+	// Every node ingested the same trace, so once past bootstrap the
+	// plan cache must collapse the fleet to a single optimizer solve.
+	if learned && (hr.PlanSolves != 1 || hr.PlanCacheHits != int64(nodes-1)) {
+		return fmt.Errorf("smoke: plan cache not shared: %d solves, %d hits (want 1, %d)",
+			hr.PlanSolves, hr.PlanCacheHits, nodes-1)
+	}
+	fmt.Fprintf(out, "smoke: healthz ok — %d nodes, %d observations, %d plan solves, %d cache hits\n",
+		hr.Nodes, hr.Observations, hr.PlanSolves, hr.PlanCacheHits)
+	fmt.Fprintln(out, "smoke: OK")
+	return nil
+}
+
+func postJSON(url string, body []byte, v any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, v)
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, v)
+}
+
+func decodeResponse(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

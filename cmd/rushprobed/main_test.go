@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rushprobe"
+	"rushprobe/internal/contact"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+)
+
+func newTestFleet(t *testing.T) *rushprobe.Fleet {
+	t.Helper()
+	f, err := rushprobe.NewFleet(rushprobe.Roadside(rushprobe.WithZetaTarget(24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// traceObservations generates the road-side contact trace for one seed
+// and labels it with the node ID.
+func traceObservations(t *testing.T, node string, seed uint64, days int) []rushprobe.Observation {
+	t.Helper()
+	gen, err := contact.NewGenerator(scenario.Roadside(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := gen.GenerateUntil(simtime.Instant(simtime.Duration(days) * simtime.Day))
+	obs := make([]rushprobe.Observation, len(contacts))
+	for i, c := range contacts {
+		obs[i] = rushprobe.Observation{Node: node, Time: c.Start.Seconds(), Length: c.Length.Seconds(), Uploaded: -1}
+	}
+	return obs
+}
+
+func mustPost(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestEndToEndThousandNodesRestartFromSnapshot is the daemon's
+// acceptance test: ingest tracegen-style traces for 1000 nodes over
+// HTTP, fetch every schedule, snapshot, restart a fresh daemon from the
+// snapshot, and verify it serves byte-identical schedules.
+func TestEndToEndThousandNodesRestartFromSnapshot(t *testing.T) {
+	const (
+		nodes         = 1000
+		distinctSeeds = 50
+		days          = 4
+		batchNodes    = 25 // nodes per observe request
+	)
+	snapPath := filepath.Join(t.TempDir(), "fleet.snap")
+	srv1 := httptest.NewServer(newServer(newTestFleet(t), snapPath))
+	defer srv1.Close()
+
+	// Generate one trace per distinct seed and fan each out to
+	// nodes/distinctSeeds node IDs — realistic (distinct nodes share
+	// mobility patterns) and it exercises cache sharing at scale.
+	seedObs := make([][]rushprobe.Observation, distinctSeeds)
+	for s := range seedObs {
+		seedObs[s] = traceObservations(t, "", uint64(s+1), days)
+	}
+	var batch []rushprobe.Observation
+	for n := 0; n < nodes; n++ {
+		id := fmt.Sprintf("node-%04d", n)
+		for _, o := range seedObs[n%distinctSeeds] {
+			o.Node = id
+			batch = append(batch, o)
+		}
+		if (n+1)%batchNodes == 0 {
+			body, err := json.Marshal(observeRequest{Observations: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp := mustPost(t, srv1.URL+"/v1/observe", body)
+			var or observeResponse
+			if err := json.Unmarshal(readBody(t, resp), &or); err != nil {
+				t.Fatal(err)
+			}
+			if or.Accepted != len(batch) {
+				t.Fatalf("batch ending at node %d: accepted %d of %d", n, or.Accepted, len(batch))
+			}
+			batch = batch[:0]
+		}
+	}
+
+	schedules := make(map[string]string, nodes)
+	learned := 0
+	for n := 0; n < nodes; n++ {
+		id := fmt.Sprintf("node-%04d", n)
+		resp, err := http.Get(srv1.URL + "/v1/schedule/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule %s: HTTP %d: %s", id, resp.StatusCode, body)
+		}
+		schedules[id] = string(body)
+		var sr scheduleResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("schedule %s: %v", id, err)
+		}
+		if sr.Mechanism == string(rushprobe.SNIPOPT) {
+			learned++
+		}
+	}
+	// Four days of observations complete three epochs — every node must
+	// have graduated from bootstrap.
+	if learned != nodes {
+		t.Fatalf("%d of %d nodes serve learned plans", learned, nodes)
+	}
+
+	var hr healthResponse
+	resp, err := http.Get(srv1.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readBody(t, resp), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Nodes != nodes {
+		t.Fatalf("healthz nodes = %d, want %d", hr.Nodes, nodes)
+	}
+	// The plan cache must collapse the fleet to (at most) one solve per
+	// distinct mobility pattern.
+	if hr.PlanSolves > distinctSeeds {
+		t.Fatalf("plan solves = %d, want <= %d distinct patterns", hr.PlanSolves, distinctSeeds)
+	}
+	if wantHits := int64(nodes) - hr.PlanSolves; hr.PlanCacheHits < wantHits {
+		t.Fatalf("plan cache hits = %d, want >= %d", hr.PlanCacheHits, wantHits)
+	}
+
+	// Snapshot over HTTP, then "restart": a fresh fleet restored from
+	// the file must serve byte-identical schedules.
+	resp = mustPost(t, srv1.URL+"/v1/snapshot", nil)
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: HTTP %d: %s", resp.StatusCode, body)
+	}
+	f2 := newTestFleet(t)
+	if err := loadSnapshot(f2, snapPath); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(newServer(f2, ""))
+	defer srv2.Close()
+	for id, want := range schedules {
+		resp, err := http.Get(srv2.URL + "/v1/schedule/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(readBody(t, resp)); got != want {
+			t.Fatalf("node %s schedule changed across restart:\n got %s\nwant %s", id, got, want)
+		}
+	}
+}
+
+func TestColdNodeScheduleNever500s(t *testing.T) {
+	srv := httptest.NewServer(newServer(newTestFleet(t), ""))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/schedule/brand-new-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold node: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var sr scheduleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Mechanism != string(rushprobe.SNIPAT) {
+		t.Fatalf("cold node mechanism = %s, want bootstrap %s", sr.Mechanism, rushprobe.SNIPAT)
+	}
+	if len(sr.Duty) != 24 {
+		t.Fatalf("cold node duty has %d slots, want 24", len(sr.Duty))
+	}
+}
+
+func TestObserveEndpointValidation(t *testing.T) {
+	srv := httptest.NewServer(newServer(newTestFleet(t), ""))
+	defer srv.Close()
+	resp := mustPost(t, srv.URL+"/v1/observe", []byte("{not json"))
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+	getResp, err := http.Get(srv.URL + "/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, getResp); getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET observe: HTTP %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestScheduleRequiresNodeID(t *testing.T) {
+	srv := httptest.NewServer(newServer(newTestFleet(t), ""))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/schedule/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing node: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpointRequiresPath(t *testing.T) {
+	srv := httptest.NewServer(newServer(newTestFleet(t), ""))
+	defer srv.Close()
+	resp := mustPost(t, srv.URL+"/v1/snapshot", nil)
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("snapshot without -snapshot: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	f := newTestFleet(t)
+	srv := httptest.NewServer(newServer(f, ""))
+	defer srv.Close()
+	f.Observe(traceObservations(t, "n1", 3, 2))
+	resp, err := http.Get(srv.URL + "/v1/profile/n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var prof rushprobe.NodeProfile
+	if err := json.Unmarshal(body, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Observations == 0 || len(prof.SlotCapacity) != 24 {
+		t.Fatalf("profile = %+v, want observations and 24 slot capacities", prof)
+	}
+}
+
+// TestSmokeMode runs the -smoke path end to end, including reading a
+// tracegen-format CSV.
+func TestSmokeMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-smoke-nodes", "4"}, &out); err != nil {
+		t.Fatalf("smoke: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "smoke: OK") {
+		t.Fatalf("smoke output missing OK: %s", out.String())
+	}
+}
+
+func TestSmokeModeWithTraceFile(t *testing.T) {
+	// Write a small CSV in tracegen's format.
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var sb strings.Builder
+	sb.WriteString("start_s,length_s\n")
+	for d := 0; d < 4; d++ {
+		for h := 0; h < 24; h++ {
+			sb.WriteString(fmt.Sprintf("%d,2\n", d*86400+h*3600+30))
+		}
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-smoke-nodes", "2", "-trace", path}, &out); err != nil {
+		t.Fatalf("smoke with trace: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-mechanism", "SNIP-XX"}, io.Discard); err == nil {
+		t.Error("bad mechanism accepted")
+	}
+	if err := run([]string{"-smoke", "-smoke-nodes", "0"}, io.Discard); err == nil {
+		t.Error("zero smoke nodes accepted")
+	}
+}

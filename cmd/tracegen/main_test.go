@@ -1,7 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+
+	"rushprobe/internal/contact"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+	"rushprobe/internal/trace"
 )
 
 func TestRunDemand(t *testing.T) {
@@ -37,5 +45,62 @@ func TestRunErrors(t *testing.T) {
 				t.Error("want error, got nil")
 			}
 		})
+	}
+}
+
+// TestTraceRoundTrip checks the full generate -> Write -> Read cycle:
+// the decoded contacts must be identical to what tracegen produced.
+func TestTraceRoundTrip(t *testing.T) {
+	gen, err := contact.NewGenerator(scenario.Roadside(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := gen.GenerateUntil(simtime.Instant(3 * simtime.Day))
+	if len(contacts) == 0 {
+		t.Fatal("generator produced no contacts")
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, contacts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(contacts) {
+		t.Fatalf("round trip lost contacts: %d -> %d", len(contacts), len(back))
+	}
+	for i := range contacts {
+		if back[i] != contacts[i] {
+			t.Fatalf("contact %d changed: %+v -> %+v", i, contacts[i], back[i])
+		}
+	}
+}
+
+// TestTraceReadRejectsUnsorted covers the sorted-start invariant: a
+// trace whose records go backwards in time must fail to parse, so
+// replays cannot silently reorder time.
+func TestTraceReadRejectsUnsorted(t *testing.T) {
+	csv := "start_s,length_s\n100,2\n50,2\n"
+	if _, err := trace.Read(strings.NewReader(csv)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	} else if !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTraceReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "foo,bar\n1,2\n",
+		"bad start":       "start_s,length_s\nxx,2\n",
+		"bad length":      "start_s,length_s\n1,yy\n",
+		"zero length":     "start_s,length_s\n1,0\n",
+		"negative length": "start_s,length_s\n1,-2\n",
+	}
+	for name, csv := range cases {
+		if _, err := trace.Read(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }

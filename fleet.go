@@ -1,0 +1,122 @@
+package rushprobe
+
+import (
+	"errors"
+	"io"
+
+	"rushprobe/internal/fleet"
+)
+
+// Observation is one probed contact reported by a fleet node: start
+// time (seconds since the node's deployment), contact length, and
+// optionally the bytes uploaded (negative = unknown; absent in JSON
+// decodes as unknown).
+type Observation = fleet.Observation
+
+// Schedule is a served probing plan: per-slot duty cycles plus the
+// plan's expected outcome. Schedules are shared and immutable — do not
+// modify Duty.
+type Schedule = fleet.Schedule
+
+// NodeProfile is the externally visible learned state of one fleet
+// node.
+type NodeProfile = fleet.NodeProfile
+
+// FleetStats aggregates fleet-wide counters: node and observation
+// counts, and the plan cache's solve/hit balance.
+type FleetStats = fleet.Stats
+
+// FleetOption customizes a Fleet.
+type FleetOption func(*fleet.Config)
+
+// WithShards sets the number of independently locked profile shards
+// (default 16).
+func WithShards(n int) FleetOption {
+	return func(c *fleet.Config) { c.Shards = n }
+}
+
+// WithBootstrapEpochs sets how many completed epochs a node must
+// observe before its learned plan replaces the bootstrap SNIP-AT plan
+// (default 3).
+func WithBootstrapEpochs(n int) FleetOption {
+	return func(c *fleet.Config) { c.BootstrapEpochs = n }
+}
+
+// WithRushSlots sets how many slots a learned profile marks as rush
+// hours (default: the base scenario's rush-slot count).
+func WithRushSlots(n int) FleetOption {
+	return func(c *fleet.Config) { c.RushSlots = n }
+}
+
+// WithCapacityQuantum sets the quantization grid (seconds per epoch)
+// applied to learned per-slot capacities before fingerprinting; coarser
+// grids make more nodes share cached plans (default 1).
+func WithCapacityQuantum(q float64) FleetOption {
+	return func(c *fleet.Config) { c.CapacityQuantum = q }
+}
+
+// WithFleetMechanism selects the plan family served after bootstrap:
+// SNIPOPT (default) or SNIPRH. SNIPAT pins every node to the bootstrap
+// plan (a control setting).
+func WithFleetMechanism(m Mechanism) FleetOption {
+	return func(c *fleet.Config) { c.Mechanism = string(m) }
+}
+
+// Fleet is a sharded in-memory store of per-node rush-hour profiles
+// with a fingerprint-keyed plan cache: the online serving layer that
+// turns the paper's §VII.B learning into schedules for a whole
+// deployment. Nodes report contacts through Observe; Schedule returns
+// the probing plan currently in force for a node, where nodes whose
+// learned profiles quantize to the same scenario share one optimizer
+// solve. Snapshot/Restore persist learned state across restarts,
+// deterministically: a restored fleet serves bit-identical schedules.
+//
+// All methods are safe for concurrent use.
+type Fleet struct {
+	inner *fleet.Fleet
+}
+
+// NewFleet builds a fleet over the base deployment scenario, whose
+// epoch/slot structure, radio, energy budget, and capacity target every
+// node's learned plan inherits.
+func NewFleet(base *Scenario, opts ...FleetOption) (*Fleet, error) {
+	if base == nil || base.inner == nil {
+		return nil, errors.New("rushprobe: nil scenario")
+	}
+	cfg := fleet.Config{Base: base.inner}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := fleet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{inner: inner}, nil
+}
+
+// Observe folds a batch of contact observations into the fleet and
+// returns how many were accepted. Invalid and stale observations are
+// counted in Stats and skipped; ingest never fails. The steady-state
+// path allocates nothing.
+func (f *Fleet) Observe(batch []Observation) int { return f.inner.Observe(batch) }
+
+// Schedule returns the probing plan currently in force for the node.
+// Cold or still-bootstrapping nodes receive the shared SNIP-AT
+// bootstrap plan, so any node ID is servable.
+func (f *Fleet) Schedule(node string) (*Schedule, error) { return f.inner.Schedule(node) }
+
+// Profile reports a node's learned state without creating any.
+func (f *Fleet) Profile(node string) (NodeProfile, error) { return f.inner.Profile(node) }
+
+// Stats returns fleet-wide counters.
+func (f *Fleet) Stats() FleetStats { return f.inner.Stats() }
+
+// Snapshot writes the fleet's learned state as JSON. Snapshot bytes are
+// deterministic (nodes sorted by ID) and float-exact, so a Restore
+// yields bit-identical schedules.
+func (f *Fleet) Snapshot(w io.Writer) error { return f.inner.WriteSnapshot(w) }
+
+// Restore replaces the fleet's learned state with a snapshot written by
+// Snapshot. The snapshot must come from a fleet with the same base
+// deployment (fingerprint-checked).
+func (f *Fleet) Restore(r io.Reader) error { return f.inner.ReadSnapshot(r) }

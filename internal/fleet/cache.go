@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// planCache maps scenario fingerprints to solved schedules. Each entry
+// solves at most once (sync.Once singleflight), so N nodes whose
+// learned profiles quantize to the same scenario cost one optimizer
+// solve between them. Entries are never evicted: a fingerprint is a
+// pure function of quantized learned state, so the population of
+// distinct fingerprints is bounded by the quantization grid, not by the
+// node count.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*cacheEntry
+	solves  atomic.Int64
+	hits    atomic.Int64
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	sched *Schedule
+	err   error
+}
+
+// get returns the cached schedule for fp, solving it exactly once on
+// first demand. Errors are cached too — a failed solve is deterministic
+// in its inputs, so retrying cannot help.
+func (c *planCache) get(fp uint64, solve func() (*Schedule, error)) (*Schedule, error) {
+	c.mu.Lock()
+	e := c.entries[fp]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[fp] = e
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.solves.Add(1)
+		e.sched, e.err = solve()
+	})
+	return e.sched, e.err
+}

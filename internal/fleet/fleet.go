@@ -1,0 +1,513 @@
+// Package fleet is the online serving layer of the system: a sharded
+// in-memory store of per-node rush-hour profiles fed by batched contact
+// observations, and a fingerprint-keyed plan cache that turns learned
+// profiles into probing schedules.
+//
+// The paper's §VII.B sketches nodes that learn their rush hours online;
+// package learn provides the estimators (contact-length EWMA, upload
+// EWMA, rush-hour ranker) and this package runs one set of them per
+// node at fleet scale. Each node's learned state quantizes to a
+// scenario (package scenario), whose Fingerprint keys a shared plan
+// cache: nodes whose learned profiles round to the same scenario share
+// one optimizer solve instead of re-optimizing per node. A JSON
+// Snapshot/Restore path lets a restarted daemon resume learned state
+// and serve bit-identical schedules.
+//
+// All operations are deterministic given the same observation batches
+// in the same order, which is what makes snapshot/restore and
+// cache-sharing testable end to end.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rushprobe/internal/analysis"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+)
+
+// Mechanisms the fleet can serve once a profile has finished its
+// bootstrap. During bootstrap every node runs SNIP-AT at the analysis
+// layer's budget-capped duty (the paper's low-duty learning phase).
+const (
+	MechanismAT  = "SNIP-AT"
+	MechanismOPT = "SNIP-OPT"
+	MechanismRH  = "SNIP-RH"
+)
+
+// Observation is one probed (or ground-truth) contact reported by a
+// node: when it started, how long it lasted, and optionally how many
+// bytes were uploaded during it.
+type Observation struct {
+	// Node identifies the reporting sensor node.
+	Node string `json:"node"`
+	// Time is the contact start in seconds since the node's deployment
+	// (the node's own epoch 0).
+	Time float64 `json:"time"`
+	// Length is the contact length in seconds.
+	Length float64 `json:"length"`
+	// Uploaded is the data volume delivered during the contact in bytes.
+	// Negative means unknown; zero is a legitimate observation (a
+	// contact probed with an empty buffer).
+	Uploaded float64 `json:"uploaded"`
+}
+
+// UnmarshalJSON decodes an observation, distinguishing an absent
+// "uploaded" field (unknown, -1) from an explicit zero.
+func (o *Observation) UnmarshalJSON(data []byte) error {
+	type wire struct {
+		Node     string   `json:"node"`
+		Time     float64  `json:"time"`
+		Length   float64  `json:"length"`
+		Uploaded *float64 `json:"uploaded"`
+	}
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	o.Node = w.Node
+	o.Time = w.Time
+	o.Length = w.Length
+	if w.Uploaded == nil {
+		o.Uploaded = -1
+	} else {
+		o.Uploaded = *w.Uploaded
+	}
+	return nil
+}
+
+// maxObservationTime bounds accepted observation times (~31k years of
+// deployment); beyond it epoch indices would overflow int conversion.
+const maxObservationTime = 1e12
+
+// maxUploadedBytes bounds a single contact's reported upload (1 PB).
+// Huge-but-finite values would otherwise overflow the upload EWMA
+// toward +Inf and poison every later snapshot.
+const maxUploadedBytes = 1e15
+
+// Config parameterizes a Fleet. The zero value of every field except
+// Base selects a sensible default.
+type Config struct {
+	// Base is the deployment template: its epoch/slot structure, radio,
+	// budget, and capacity target are what every node's learned scenario
+	// inherits. Required.
+	Base *scenario.Scenario
+	// Shards is the number of independently locked profile shards.
+	// Default 16.
+	Shards int
+	// RushSlots is how many slots a learned profile marks as rush hours.
+	// Default: the base scenario's rush-slot count, else slots/6 (min 1).
+	RushSlots int
+	// BootstrapEpochs is how many completed epochs a node must observe
+	// before its learned plan replaces the bootstrap SNIP-AT plan.
+	// Default 3.
+	BootstrapEpochs int
+	// Mechanism selects the plan family served after bootstrap:
+	// MechanismOPT (default) or MechanismRH. MechanismAT pins every node
+	// to the bootstrap plan forever (a control setting).
+	Mechanism string
+	// CapacityQuantum quantizes learned per-slot capacities (seconds per
+	// epoch) before fingerprinting, so near-identical profiles share one
+	// cached plan. Default 1.
+	CapacityQuantum float64
+	// LengthQuantum quantizes the learned mean contact length (seconds).
+	// Default 0.1.
+	LengthQuantum float64
+	// MaxEpochSkip caps how many empty epochs a single observation folds
+	// into the learner when a node goes quiet: beyond it the EWMAs have
+	// fully decayed, so the remaining gap is skipped. Default 64.
+	MaxEpochSkip int
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Base == nil {
+		return c, errors.New("fleet: config needs a base scenario")
+	}
+	if err := c.Base.Validate(); err != nil {
+		return c, err
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("fleet: shard count must be positive, got %d", c.Shards)
+	}
+	if c.RushSlots == 0 {
+		for _, s := range c.Base.Slots {
+			if s.RushHour {
+				c.RushSlots++
+			}
+		}
+		if c.RushSlots == 0 {
+			c.RushSlots = len(c.Base.Slots) / 6
+		}
+		if c.RushSlots < 1 {
+			c.RushSlots = 1
+		}
+	}
+	if c.RushSlots < 0 || c.RushSlots > len(c.Base.Slots) {
+		return c, fmt.Errorf("fleet: rush slots %d out of [1, %d]", c.RushSlots, len(c.Base.Slots))
+	}
+	if c.BootstrapEpochs == 0 {
+		c.BootstrapEpochs = 3
+	}
+	if c.BootstrapEpochs < 0 {
+		return c, fmt.Errorf("fleet: bootstrap epochs must be non-negative, got %d", c.BootstrapEpochs)
+	}
+	switch c.Mechanism {
+	case "":
+		c.Mechanism = MechanismOPT
+	case MechanismAT, MechanismOPT, MechanismRH:
+	default:
+		return c, fmt.Errorf("fleet: unknown mechanism %q", c.Mechanism)
+	}
+	if c.CapacityQuantum == 0 {
+		c.CapacityQuantum = 1
+	}
+	if c.CapacityQuantum < 0 || !isFinite(c.CapacityQuantum) {
+		return c, fmt.Errorf("fleet: capacity quantum must be positive, got %g", c.CapacityQuantum)
+	}
+	if c.LengthQuantum == 0 {
+		c.LengthQuantum = 0.1
+	}
+	if c.LengthQuantum < 0 || !isFinite(c.LengthQuantum) {
+		return c, fmt.Errorf("fleet: length quantum must be positive, got %g", c.LengthQuantum)
+	}
+	if c.MaxEpochSkip == 0 {
+		c.MaxEpochSkip = 64
+	}
+	if c.MaxEpochSkip < 1 {
+		return c, fmt.Errorf("fleet: max epoch skip must be positive, got %d", c.MaxEpochSkip)
+	}
+	return c, nil
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Schedule is a served probing plan: the per-slot duty cycles of one
+// mechanism together with the plan's analytical outcome. Schedules are
+// shared and immutable — callers must not modify Duty.
+type Schedule struct {
+	// Mechanism names the plan family (SNIP-AT during bootstrap).
+	Mechanism string `json:"mechanism"`
+	// Duty is the duty cycle per slot of the epoch.
+	Duty []float64 `json:"duty"`
+	// Zeta and Phi are the plan's expected probed capacity and probing
+	// energy in seconds per epoch.
+	Zeta float64 `json:"zeta"`
+	Phi  float64 `json:"phi"`
+	// TargetMet reports whether the plan reaches the capacity target.
+	TargetMet bool `json:"targetMet"`
+	// Fingerprint identifies the (quantized) scenario the plan was
+	// solved for; nodes with equal fingerprints share one plan.
+	Fingerprint uint64 `json:"fingerprint,string"`
+}
+
+// Stats aggregates fleet-wide counters.
+type Stats struct {
+	// Nodes is the number of tracked profiles.
+	Nodes int `json:"nodes"`
+	// Observations counts accepted contact observations.
+	Observations int64 `json:"observations"`
+	// Stale counts observations discarded for arriving in an epoch the
+	// node has already folded.
+	Stale int64 `json:"stale"`
+	// Invalid counts observations rejected outright (empty node ID,
+	// non-finite or negative time, non-positive length).
+	Invalid int64 `json:"invalid"`
+	// PlanSolves counts optimizer solves; PlanCacheHits counts schedule
+	// requests served from the fingerprint cache.
+	PlanSolves    int64 `json:"planSolves"`
+	PlanCacheHits int64 `json:"planCacheHits"`
+	// CachedPlans is the number of distinct fingerprints cached.
+	CachedPlans int `json:"cachedPlans"`
+}
+
+// shard is one lock domain of the profile store.
+type shard struct {
+	mu    sync.Mutex
+	nodes map[string]*profile
+}
+
+// Fleet is the sharded store of per-node profiles plus the shared plan
+// cache. All methods are safe for concurrent use.
+type Fleet struct {
+	cfg          Config
+	clk          *simtime.Clock
+	slotLen      float64
+	epochSeconds float64
+	baseFP       uint64
+	bootstrap    *Schedule
+	shards       []shard
+	cache        planCache
+
+	// Fleet-level counters, kept as atomics so Stats never has to walk
+	// the profiles under the shard locks.
+	accepted atomic.Int64
+	stale    atomic.Int64
+	invalid  atomic.Int64
+}
+
+// New builds a Fleet over the base scenario carried by cfg.
+func New(cfg Config) (*Fleet, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	clk, err := cfg.Base.Clock()
+	if err != nil {
+		return nil, err
+	}
+	baseFP, err := cfg.Base.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:          cfg,
+		clk:          clk,
+		slotLen:      cfg.Base.SlotLen().Seconds(),
+		epochSeconds: cfg.Base.Epoch.Seconds(),
+		baseFP:       baseFP,
+		shards:       make([]shard, cfg.Shards),
+	}
+	for i := range f.shards {
+		f.shards[i].nodes = make(map[string]*profile)
+	}
+	f.cache.entries = make(map[uint64]*cacheEntry)
+	if f.bootstrap, err = f.bootstrapSchedule(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// bootstrapSchedule is the SNIP-AT plan served before a node has
+// learned anything: the analysis layer's fixed duty for the base
+// scenario's target, capped by the energy budget — exactly the "very
+// small duty cycle" bootstrap of §VII.B.
+func (f *Fleet) bootstrapSchedule() (*Schedule, error) {
+	ev, err := analysis.NewEvaluator(f.cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	at := ev.AT(f.cfg.Base.ZetaTarget)
+	duty := make([]float64, len(f.cfg.Base.Slots))
+	d := ev.ATDuty(f.cfg.Base.ZetaTarget)
+	for i := range duty {
+		duty[i] = d
+	}
+	return &Schedule{
+		Mechanism:   MechanismAT,
+		Duty:        duty,
+		Zeta:        at.Zeta,
+		Phi:         at.Phi,
+		TargetMet:   at.TargetMet,
+		Fingerprint: f.baseFP,
+	}, nil
+}
+
+// shardIndex maps a node ID to its shard with an inline FNV-1a hash
+// (no allocation on the ingest hot path).
+func (f *Fleet) shardIndex(node string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(f.shards)))
+}
+
+func (f *Fleet) shardOf(node string) *shard { return &f.shards[f.shardIndex(node)] }
+
+// Observe folds a batch of contact observations into the fleet and
+// returns how many were accepted. Invalid observations (empty node ID,
+// non-finite or negative time, non-positive length, a length longer
+// than the epoch, an absurd upload) and stale ones (earlier than an
+// epoch the node has already folded) are counted in Stats and skipped;
+// ingest never fails, so a misbehaving node cannot wedge the batch —
+// or poison the learned state with values that overflow the EWMAs. The
+// steady-state path allocates nothing.
+func (f *Fleet) Observe(batch []Observation) int {
+	accepted := 0
+	for i := range batch {
+		o := &batch[i]
+		if o.Node == "" || !(o.Time >= 0) || o.Time > maxObservationTime ||
+			!(o.Length > 0) || o.Length > f.epochSeconds ||
+			o.Uploaded > maxUploadedBytes {
+			f.invalid.Add(1)
+			continue
+		}
+		sh := f.shardOf(o.Node)
+		sh.mu.Lock()
+		p := sh.nodes[o.Node]
+		if p == nil {
+			p = f.newProfile(o.Node)
+			sh.nodes[o.Node] = p
+		}
+		if f.fold(p, o) {
+			accepted++
+		}
+		sh.mu.Unlock()
+	}
+	return accepted
+}
+
+// fold applies one valid observation to a profile. Epoch boundaries
+// crossed since the node's last observation are folded into the learner
+// in order, so ingest is deterministic in batch order.
+func (f *Fleet) fold(p *profile, o *Observation) bool {
+	at := simtime.Instant(o.Time)
+	e := f.clk.EpochIndex(at)
+	if e < p.epoch {
+		p.stale++
+		f.stale.Add(1)
+		return false
+	}
+	if gap := e - p.epoch; gap > f.cfg.MaxEpochSkip {
+		// The node was silent long enough that every EWMA has decayed to
+		// its floor; folding more empty epochs changes nothing.
+		for i := 0; i < f.cfg.MaxEpochSkip; i++ {
+			p.learner.EndEpoch()
+		}
+		p.epoch = e
+	} else {
+		for p.epoch < e {
+			p.learner.EndEpoch()
+			p.epoch++
+		}
+	}
+	p.learner.ObserveContact(f.clk.SlotIndex(at), o.Length)
+	p.length.Observe(o.Length)
+	if o.Uploaded >= 0 {
+		p.upload.Observe(o.Uploaded)
+	}
+	p.observed++
+	f.accepted.Add(1)
+	p.sched = nil
+	return true
+}
+
+// Schedule returns the probing plan currently in force for the node. A
+// node that has never reported (or is still inside its bootstrap
+// window) receives the shared bootstrap SNIP-AT plan, so a cold node is
+// always servable. Serving never creates state: only Observe admits
+// nodes into the store, so unauthenticated schedule reads for made-up
+// IDs cannot grow memory. The returned Schedule is shared and must not
+// be modified.
+func (f *Fleet) Schedule(node string) (*Schedule, error) {
+	if node == "" {
+		return nil, errors.New("fleet: empty node ID")
+	}
+	sh := f.shardOf(node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.nodes[node]
+	if p == nil {
+		// An unknown node is indistinguishable from a just-created
+		// profile: zero completed epochs means the bootstrap plan (a
+		// BootstrapEpochs of 0 only graduates nodes that exist, and they
+		// only exist once they have observed).
+		return f.bootstrap, nil
+	}
+	if p.sched != nil {
+		return p.sched, nil
+	}
+	if f.cfg.Mechanism == MechanismAT || p.learner.Epochs() < f.cfg.BootstrapEpochs {
+		p.sched = f.bootstrap
+		return p.sched, nil
+	}
+	sc, meanLen := f.learnedScenario(p)
+	fp, err := sc.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := f.cache.get(fp, func() (*Schedule, error) {
+		return f.solve(sc, meanLen, fp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.sched = sched
+	return sched, nil
+}
+
+// Profile reports a node's learned state. An unknown node returns a
+// zero-valued profile with Bootstrapping set; reading never creates
+// state.
+func (f *Fleet) Profile(node string) (NodeProfile, error) {
+	if node == "" {
+		return NodeProfile{}, errors.New("fleet: empty node ID")
+	}
+	sh := f.shardOf(node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.nodes[node]
+	if p == nil {
+		return NodeProfile{
+			Node:          node,
+			Bootstrapping: true,
+			RushMask:      make([]bool, len(f.cfg.Base.Slots)),
+			SlotCapacity:  make([]float64, len(f.cfg.Base.Slots)),
+		}, nil
+	}
+	return NodeProfile{
+		Node:              node,
+		Epochs:            p.learner.Epochs(),
+		Observations:      p.observed,
+		Stale:             p.stale,
+		MeanContactLength: p.length.Mean(),
+		UploadThreshold:   p.upload.Threshold(),
+		SlotCapacity:      p.learner.Capacity(),
+		RushMask:          p.learner.Mask(),
+		Bootstrapping:     p.learner.Epochs() < f.cfg.BootstrapEpochs,
+	}, nil
+}
+
+// NodeProfile is the externally visible learned state of one node.
+type NodeProfile struct {
+	Node string `json:"node"`
+	// Epochs is how many epochs the node's learner has completed.
+	Epochs int `json:"epochs"`
+	// Observations and Stale count accepted and discarded reports.
+	Observations int64 `json:"observations"`
+	Stale        int64 `json:"stale"`
+	// MeanContactLength is the learned mean contact length in seconds.
+	MeanContactLength float64 `json:"meanContactLength"`
+	// UploadThreshold is the learned "enough data buffered" threshold in
+	// bytes (§VI.B condition 2).
+	UploadThreshold float64 `json:"uploadThreshold"`
+	// SlotCapacity is the learned per-slot contact capacity (s/epoch).
+	SlotCapacity []float64 `json:"slotCapacity"`
+	// RushMask marks the learner's current top slots.
+	RushMask []bool `json:"rushMask"`
+	// Bootstrapping reports whether the node still serves the bootstrap
+	// plan.
+	Bootstrapping bool `json:"bootstrapping"`
+}
+
+// Stats returns fleet-wide counters. The counters are atomics and the
+// node count is O(shards), so health probes never walk the profiles or
+// contend with ingest.
+func (f *Fleet) Stats() Stats {
+	var s Stats
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		s.Nodes += len(sh.nodes)
+		sh.mu.Unlock()
+	}
+	s.Observations = f.accepted.Load()
+	s.Stale = f.stale.Load()
+	s.Invalid = f.invalid.Load()
+	s.PlanSolves = f.cache.solves.Load()
+	s.PlanCacheHits = f.cache.hits.Load()
+	f.cache.mu.Lock()
+	s.CachedPlans = len(f.cache.entries)
+	f.cache.mu.Unlock()
+	return s
+}

@@ -1,0 +1,495 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rushprobe/internal/scenario"
+)
+
+func newTestFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	if cfg.Base == nil {
+		cfg.Base = scenario.Roadside()
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// syntheticDays builds a deterministic observation stream for one node:
+// each day puts `rushContacts` contacts in the four road-side rush
+// slots and one contact everywhere else, all of the given length.
+func syntheticDays(node string, days, rushContacts int, length float64) []Observation {
+	var out []Observation
+	rush := map[int]bool{7: true, 8: true, 17: true, 18: true}
+	for d := 0; d < days; d++ {
+		for h := 0; h < 24; h++ {
+			n := 1
+			if rush[h] {
+				n = rushContacts
+			}
+			for i := 0; i < n; i++ {
+				out = append(out, Observation{
+					Node:     node,
+					Time:     float64(d)*86400 + float64(h)*3600 + float64(i)*300,
+					Length:   length,
+					Uploaded: -1,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestColdNodeGetsBootstrapPlan(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	s, err := f.Schedule("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mechanism != MechanismAT {
+		t.Fatalf("cold node mechanism = %s, want %s", s.Mechanism, MechanismAT)
+	}
+	if len(s.Duty) != 24 {
+		t.Fatalf("duty has %d slots, want 24", len(s.Duty))
+	}
+	for i, d := range s.Duty {
+		if !(d > 0) || d > 1 {
+			t.Fatalf("bootstrap duty[%d] = %v out of (0, 1]", i, d)
+		}
+	}
+	if !isFinite(s.Zeta) || !isFinite(s.Phi) {
+		t.Fatalf("bootstrap plan has non-finite outcome: zeta=%v phi=%v", s.Zeta, s.Phi)
+	}
+	// The serving layer must be able to marshal any schedule.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("schedule must marshal: %v", err)
+	}
+}
+
+func TestObserveGraduatesToLearnedPlan(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	batch := syntheticDays("n1", 4, 10, 2.0)
+	if got := f.Observe(batch); got != len(batch) {
+		t.Fatalf("accepted %d of %d observations", got, len(batch))
+	}
+	s, err := f.Schedule("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mechanism != MechanismOPT {
+		t.Fatalf("mechanism = %s, want %s after bootstrap", s.Mechanism, MechanismOPT)
+	}
+	// With the target comfortably inside the rush-hour capacity, the
+	// energy-minimizing plan must spend only on rush slots (it may not
+	// need all of them).
+	spent := false
+	for i, d := range s.Duty {
+		rush := i == 7 || i == 8 || i == 17 || i == 18
+		if d > 0 && !rush {
+			t.Fatalf("learned plan spends on off-peak slot %d (duty %v)", i, d)
+		}
+		if d > 0 {
+			spent = true
+		}
+	}
+	if !spent {
+		t.Fatal("learned plan probes nothing")
+	}
+	if !s.TargetMet {
+		t.Fatalf("learned plan misses the target: zeta %v < %v", s.Zeta, f.cfg.Base.ZetaTarget)
+	}
+	if s.Phi > f.cfg.Base.PhiMax+1e-9 {
+		t.Fatalf("plan exceeds energy budget: %v > %v", s.Phi, f.cfg.Base.PhiMax)
+	}
+	prof, err := f.Profile("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Bootstrapping {
+		t.Fatal("profile still reports bootstrapping after 3 completed epochs")
+	}
+	if got := maskSlots(prof.RushMask); !reflect.DeepEqual(got, []int{7, 8, 17, 18}) {
+		t.Fatalf("learned rush mask = %v, want [7 8 17 18]", got)
+	}
+}
+
+func maskSlots(mask []bool) []int {
+	var out []int
+	for i, m := range mask {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestPlanCacheSharesSolves is the acceptance test for the plan cache:
+// nodes whose learned profiles quantize to the same scenario trigger
+// exactly one optimizer solve.
+func TestPlanCacheSharesSolves(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	// Node b's contacts are 1% longer — within the quantization grid, so
+	// both nodes fingerprint identically.
+	f.Observe(syntheticDays("a", 4, 10, 2.0))
+	f.Observe(syntheticDays("b", 4, 10, 2.02))
+	sa, err := f.Schedule("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := f.Schedule("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Fingerprint != sb.Fingerprint {
+		t.Fatalf("fingerprints differ: %016x vs %016x", sa.Fingerprint, sb.Fingerprint)
+	}
+	if sa != sb {
+		t.Fatal("fingerprint-equal nodes should share the same cached *Schedule")
+	}
+	st := f.Stats()
+	if st.PlanSolves != 1 {
+		t.Fatalf("PlanSolves = %d, want exactly 1", st.PlanSolves)
+	}
+	if st.PlanCacheHits != 1 {
+		t.Fatalf("PlanCacheHits = %d, want 1", st.PlanCacheHits)
+	}
+	// Re-serving without new observations is a profile-local cache hit;
+	// no new solve, no new cache traffic.
+	if _, err := f.Schedule("a"); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := f.Stats(); st2.PlanSolves != 1 || st2.PlanCacheHits != 1 {
+		t.Fatalf("re-serve changed counters: %+v", st2)
+	}
+}
+
+func TestNewObservationsInvalidateServedPlan(t *testing.T) {
+	f := newTestFleet(t, Config{BootstrapEpochs: 1})
+	f.Observe(syntheticDays("n", 2, 10, 2.0))
+	s1, err := f.Schedule("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A markedly different pattern (rush hours moved) must eventually
+	// produce a different plan.
+	var shifted []Observation
+	for _, o := range syntheticDays("n", 6, 10, 2.0) {
+		o.Time += 2 * 86400
+		shifted = append(shifted, Observation{Node: o.Node, Time: o.Time, Length: o.Length, Uploaded: o.Uploaded})
+	}
+	// Displace the heavy slots by 6 hours.
+	for i := range shifted {
+		day := math.Floor(shifted[i].Time / 86400)
+		within := shifted[i].Time - day*86400
+		shifted[i].Time = day*86400 + math.Mod(within+6*3600, 86400)
+	}
+	// Shift breaks per-node time ordering within a day; sort not needed
+	// because epochs still advance day by day, but keep slots valid.
+	f.Observe(shifted)
+	s2, err := f.Schedule("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Fingerprint == s2.Fingerprint {
+		t.Fatal("plan fingerprint did not change after the pattern shifted")
+	}
+}
+
+func TestObserveRejectsGarbage(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	bad := []Observation{
+		{Node: "", Time: 0, Length: 1},
+		{Node: "n", Time: math.NaN(), Length: 1},
+		{Node: "n", Time: -5, Length: 1},
+		{Node: "n", Time: 2e12, Length: 1},
+		{Node: "n", Time: 0, Length: 0},
+		{Node: "n", Time: 0, Length: math.Inf(1)},
+		{Node: "n", Time: 0, Length: math.NaN()},
+		{Node: "n", Time: 0, Length: 1e308},             // longer than the epoch
+		{Node: "n", Time: 0, Length: 1, Uploaded: 2e15}, // absurd upload
+		{Node: "n", Time: 0, Length: 1, Uploaded: math.Inf(1)},
+	}
+	if got := f.Observe(bad); got != 0 {
+		t.Fatalf("accepted %d garbage observations", got)
+	}
+	if st := f.Stats(); st.Invalid != int64(len(bad)) {
+		t.Fatalf("Invalid = %d, want %d", st.Invalid, len(bad))
+	}
+}
+
+// TestHugeObservationsCannotPoisonSnapshots: huge-but-finite lengths
+// and uploads must be rejected at ingest, otherwise they overflow the
+// EWMAs to +Inf and every later snapshot fails to encode.
+func TestHugeObservationsCannotPoisonSnapshots(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	f.Observe([]Observation{
+		{Node: "n", Time: 0, Length: 1e308},
+		{Node: "n", Time: 1, Length: 1e308},
+		{Node: "n", Time: 2, Length: 2, Uploaded: math.Inf(1)},
+		{Node: "n", Time: 3, Length: 2, Uploaded: 1e308},
+		{Node: "n", Time: 4, Length: 2}, // one legitimate observation
+	})
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("snapshot must survive hostile observations: %v", err)
+	}
+	prof, err := f.Profile("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Observations != 1 {
+		t.Fatalf("accepted %d observations, want only the legitimate one", prof.Observations)
+	}
+}
+
+// TestScheduleReadsDoNotCreateState: unauthenticated schedule lookups
+// for made-up node IDs must not grow the store.
+func TestScheduleReadsDoNotCreateState(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	for i := 0; i < 100; i++ {
+		if _, err := f.Schedule(fmt.Sprintf("scanner-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Stats(); st.Nodes != 0 {
+		t.Fatalf("schedule reads created %d profiles", st.Nodes)
+	}
+}
+
+// TestRestoreRejectsRushSlotMismatch: RushSlots is fleet config, not
+// base-scenario state, so Restore must check it explicitly.
+func TestRestoreRejectsRushSlotMismatch(t *testing.T) {
+	f := newTestFleet(t, Config{RushSlots: 2})
+	f.Observe(syntheticDays("n", 2, 8, 2.0))
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := newTestFleet(t, Config{}) // defaults to 4 rush slots
+	if err := other.ReadSnapshot(&buf); err == nil {
+		t.Fatal("snapshot with a different RushSlots configuration must be rejected")
+	}
+}
+
+func TestObserveCountsStale(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	f.Observe([]Observation{{Node: "n", Time: 3 * 86400, Length: 2}})
+	if got := f.Observe([]Observation{{Node: "n", Time: 100, Length: 2}}); got != 0 {
+		t.Fatal("observation from an already-folded epoch should not be accepted")
+	}
+	if st := f.Stats(); st.Stale != 1 {
+		t.Fatalf("Stale = %d, want 1", st.Stale)
+	}
+}
+
+func TestObserveSkipsLongGaps(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	f.Observe([]Observation{{Node: "n", Time: 10, Length: 2}})
+	// A 10000-epoch jump must fold only MaxEpochSkip epochs and land on
+	// the new epoch.
+	f.Observe([]Observation{{Node: "n", Time: 10000 * 86400, Length: 2}})
+	prof, err := f.Profile("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Epochs != f.cfg.MaxEpochSkip {
+		t.Fatalf("folded %d epochs, want MaxEpochSkip=%d", prof.Epochs, f.cfg.MaxEpochSkip)
+	}
+	if got := f.Observe([]Observation{{Node: "n", Time: 10000*86400 + 60, Length: 2}}); got != 1 {
+		t.Fatal("observations in the new epoch must be accepted")
+	}
+}
+
+func TestRHMechanism(t *testing.T) {
+	f := newTestFleet(t, Config{Mechanism: MechanismRH})
+	f.Observe(syntheticDays("n", 4, 10, 2.0))
+	s, err := f.Schedule("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mechanism != MechanismRH {
+		t.Fatalf("mechanism = %s, want %s", s.Mechanism, MechanismRH)
+	}
+	for i, d := range s.Duty {
+		rush := i == 7 || i == 8 || i == 17 || i == 18
+		if rush && d <= 0 {
+			t.Fatalf("rush slot %d has zero duty", i)
+		}
+		if !rush && d != 0 {
+			t.Fatalf("off-peak slot %d has duty %v, want 0", i, d)
+		}
+	}
+	if s.Phi > f.cfg.Base.PhiMax+1e-9 {
+		t.Fatalf("RH plan exceeds budget: %v > %v", s.Phi, f.cfg.Base.PhiMax)
+	}
+}
+
+func TestSnapshotRestoreServesIdenticalSchedules(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	nodes := []string{"a", "b", "c", "d"}
+	for i, n := range nodes {
+		f.Observe(syntheticDays(n, 4, 6+i, 2.0))
+	}
+	want := make(map[string]*Schedule)
+	for _, n := range nodes {
+		s, err := f.Schedule(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = s
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g := newTestFleet(t, Config{})
+	if err := g.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		got, err := g.Schedule(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[n]) {
+			t.Fatalf("node %s schedule diverged after restore:\n got %+v\nwant %+v", n, got, want[n])
+		}
+	}
+	// Restored profiles keep evolving identically.
+	all := syntheticDays("a", 5, 6, 2.0)
+	extra := all[4*len(all)/5:]
+	f.Observe(extra)
+	g.Observe(extra)
+	s1, err1 := f.Schedule("a")
+	s2, err2 := g.Schedule("a")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("schedules diverged after post-restore observations")
+	}
+}
+
+func TestSnapshotIsDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		f, err := New(Config{Base: scenario.Roadside()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []string{"zeta", "alpha", "mid"} {
+			f.Observe(syntheticDays(n, 2, 8, 2.0))
+		}
+		var buf bytes.Buffer
+		if err := f.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(build().Bytes(), build().Bytes()) {
+		t.Fatal("snapshot bytes are not deterministic")
+	}
+}
+
+func TestRestoreRejectsMismatchedBase(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	f.Observe(syntheticDays("n", 2, 8, 2.0))
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := newTestFleet(t, Config{Base: scenario.Roadside(scenario.WithZetaTarget(48))})
+	if err := other.ReadSnapshot(&buf); err == nil {
+		t.Fatal("restore into a fleet with a different base scenario must fail")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	base := f.Snapshot()
+	bad := *base
+	bad.Version = 99
+	if err := f.Restore(&bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	bad2 := *base
+	bad2.Nodes = append([]NodeState(nil), NodeState{ID: ""})
+	if err := f.Restore(&bad2); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	bad3 := *base
+	bad3.Nodes = append([]NodeState(nil), NodeState{ID: "x"})
+	if err := f.Restore(&bad3); err == nil {
+		t.Error("mismatched learner slot count accepted")
+	}
+}
+
+func TestObservationJSONUploadedDefaultsToUnknown(t *testing.T) {
+	var o Observation
+	if err := json.Unmarshal([]byte(`{"node":"n","time":1,"length":2}`), &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Uploaded != -1 {
+		t.Fatalf("absent uploaded should decode as -1, got %v", o.Uploaded)
+	}
+	if err := json.Unmarshal([]byte(`{"node":"n","time":1,"length":2,"uploaded":0}`), &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Uploaded != 0 {
+		t.Fatalf("explicit zero uploaded should decode as 0, got %v", o.Uploaded)
+	}
+}
+
+func TestFleetConcurrentObserveAndSchedule(t *testing.T) {
+	f := newTestFleet(t, Config{BootstrapEpochs: 1})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := fmt.Sprintf("n%d", w%4)
+			f.Observe(syntheticDays(node, 3, 10, 2.0))
+			if _, err := f.Schedule(node); err != nil {
+				t.Error(err)
+			}
+			if _, err := f.Profile(node); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := f.Stats(); st.Nodes != 4 {
+		t.Fatalf("nodes = %d, want 4", st.Nodes)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil base accepted")
+	}
+	base := scenario.Roadside()
+	bad := []Config{
+		{Base: base, Shards: -1},
+		{Base: base, RushSlots: 99},
+		{Base: base, BootstrapEpochs: -1},
+		{Base: base, Mechanism: "SNIP-XX"},
+		{Base: base, CapacityQuantum: -1},
+		{Base: base, LengthQuantum: math.NaN()},
+		{Base: base, MaxEpochSkip: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"math"
+
+	"rushprobe/internal/dist"
+	"rushprobe/internal/learn"
+	"rushprobe/internal/model"
+	"rushprobe/internal/opt"
+	"rushprobe/internal/scenario"
+)
+
+// profile is the per-node learned state: the §VI.B/§VI.C estimators and
+// the §VII.B rush-hour ranker, plus bookkeeping. Access is guarded by
+// the owning shard's lock.
+type profile struct {
+	id      string
+	length  *learn.ContactLength
+	upload  *learn.UploadAmount
+	learner *learn.RushHourLearner
+
+	// epoch is the node's current (not yet folded) epoch index.
+	epoch    int
+	observed int64
+	stale    int64
+
+	// sched caches the schedule served for the current learned state;
+	// nil after any state change.
+	sched *Schedule
+}
+
+// newProfile seeds a node's estimators from the base scenario: the mean
+// contact length prior and an upload prior of one mean contact's worth
+// of bytes. Callers hold the shard lock.
+func (f *Fleet) newProfile(node string) *profile {
+	meanLen := f.cfg.Base.MeanContactLength()
+	learner, err := learn.NewRushHourLearner(len(f.cfg.Base.Slots), f.cfg.RushSlots)
+	if err != nil {
+		// Config validation bounds RushSlots to [1, slots]; this cannot
+		// fire for a constructed Fleet.
+		panic(err)
+	}
+	return &profile{
+		id:      node,
+		length:  learn.NewContactLength(meanLen),
+		upload:  learn.NewUploadAmount(meanLen * f.cfg.Base.UploadRate),
+		learner: learner,
+	}
+}
+
+// quantize rounds v to the nearest multiple of q (q > 0).
+func quantize(v, q float64) float64 {
+	return math.Round(v/q) * q
+}
+
+// learnedScenario converts a profile's learned state into a scenario:
+// per-slot contact frequency from the quantized capacity estimates and
+// the quantized learned mean contact length, rush flags from the
+// learner's mask, and budget/target/radio inherited from the base
+// deployment. Quantization is what lets distinct nodes with
+// near-identical learned profiles share a fingerprint — and therefore
+// one cached plan. The learned mean length (unquantized would leak
+// per-node noise into the fingerprint) is returned for plan math.
+func (f *Fleet) learnedScenario(p *profile) (*scenario.Scenario, float64) {
+	caps := p.learner.Capacity()
+	mask := p.learner.Mask()
+	meanLen := quantize(p.length.Mean(), f.cfg.LengthQuantum)
+	if meanLen < f.cfg.LengthQuantum {
+		meanLen = f.cfg.LengthQuantum
+	}
+	slots := make([]scenario.Slot, len(caps))
+	for i, c := range caps {
+		cq := quantize(c, f.cfg.CapacityQuantum)
+		if cq <= 0 {
+			slots[i] = scenario.Slot{RushHour: mask[i]}
+			continue
+		}
+		// cq seconds of contact per slot at meanLen seconds each gives
+		// the slot's arrival rate; the scenario stores its reciprocal.
+		rate := cq / (meanLen * f.slotLen)
+		slots[i] = scenario.Slot{
+			Interval: dist.Fixed{Value: 1 / rate},
+			Length:   dist.Fixed{Value: meanLen},
+			RushHour: mask[i],
+		}
+	}
+	return &scenario.Scenario{
+		Name:       "learned:" + p.id,
+		Epoch:      f.cfg.Base.Epoch,
+		Slots:      slots,
+		Radio:      f.cfg.Base.Radio,
+		PhiMax:     f.cfg.Base.PhiMax,
+		ZetaTarget: f.cfg.Base.ZetaTarget,
+		UploadRate: f.cfg.Base.UploadRate,
+	}, meanLen
+}
+
+// solve computes the schedule for one learned scenario. It runs at most
+// once per fingerprint (the plan cache's singleflight) and is the only
+// place optimizer solves happen.
+func (f *Fleet) solve(sc *scenario.Scenario, meanLen float64, fp uint64) (*Schedule, error) {
+	if f.cfg.Mechanism == MechanismRH {
+		return solveRH(sc, meanLen, fp), nil
+	}
+	plan, err := opt.Solve(opt.Problem{
+		Model:      sc.Radio,
+		Slots:      sc.SlotProcesses(),
+		PhiMax:     sc.PhiMax,
+		ZetaTarget: sc.ZetaTarget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		Mechanism:   MechanismOPT,
+		Duty:        plan.Duty,
+		Zeta:        plan.Zeta,
+		Phi:         plan.Phi,
+		TargetMet:   plan.TargetMet,
+		Fingerprint: fp,
+	}, nil
+}
+
+// solveRH derives the SNIP-RH plan for a learned scenario: probe the
+// learned rush-hour slots at the knee duty of the learned mean contact
+// length (§VI.C), scaled down uniformly if that would exceed the energy
+// budget.
+func solveRH(sc *scenario.Scenario, meanLen float64, fp uint64) *Schedule {
+	procs := sc.SlotProcesses()
+	drh := sc.Radio.Knee(meanLen)
+	phi := 0.0
+	for i, s := range sc.Slots {
+		if s.RushHour {
+			phi += procs[i].Duration * drh
+		}
+	}
+	if sc.PhiMax > 0 && phi > sc.PhiMax {
+		drh *= sc.PhiMax / phi
+		phi = sc.PhiMax
+	}
+	duty := make([]float64, len(sc.Slots))
+	zeta := 0.0
+	for i, s := range sc.Slots {
+		if !s.RushHour {
+			continue
+		}
+		duty[i] = drh
+		zeta += probedCapacity(procs[i], sc.Radio, drh)
+	}
+	if phi == 0 {
+		zeta = 0
+	}
+	return &Schedule{
+		Mechanism:   MechanismRH,
+		Duty:        duty,
+		Zeta:        zeta,
+		Phi:         phi,
+		TargetMet:   zeta >= sc.ZetaTarget-1e-9,
+		Fingerprint: fp,
+	}
+}
+
+// probedCapacity is SlotProcess.ProbedCapacity guarded for empty slots.
+func probedCapacity(p model.SlotProcess, cfg model.Config, d float64) float64 {
+	if p.Freq <= 0 || p.Length == nil {
+		return 0
+	}
+	return p.ProbedCapacity(cfg, d)
+}

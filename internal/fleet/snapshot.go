@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rushprobe/internal/learn"
+)
+
+// snapshotVersion is bumped on incompatible snapshot layout changes.
+const snapshotVersion = 1
+
+// Snapshot is the serializable state of a Fleet: every node's learned
+// estimators. Plans are not persisted — they are pure functions of the
+// learned state and re-derive (bit-identically) on demand after a
+// Restore. Nodes are sorted by ID so snapshot bytes are deterministic.
+type Snapshot struct {
+	Version int `json:"version"`
+	// BaseFingerprint guards against restoring into a fleet configured
+	// with a different base deployment.
+	BaseFingerprint uint64      `json:"baseFingerprint,string"`
+	Nodes           []NodeState `json:"nodes"`
+}
+
+// NodeState is one node's serialized profile.
+type NodeState struct {
+	ID       string                   `json:"id"`
+	Epoch    int                      `json:"epoch"`
+	Observed int64                    `json:"observed"`
+	Stale    int64                    `json:"stale,omitempty"`
+	Length   learn.ContactLengthState `json:"length"`
+	Upload   learn.UploadAmountState  `json:"upload"`
+	Learner  learn.RushHourState      `json:"learner"`
+}
+
+// Snapshot exports the fleet's learned state.
+func (f *Fleet) Snapshot() *Snapshot {
+	s := &Snapshot{Version: snapshotVersion, BaseFingerprint: f.baseFP}
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.nodes {
+			s.Nodes = append(s.Nodes, NodeState{
+				ID:       p.id,
+				Epoch:    p.epoch,
+				Observed: p.observed,
+				Stale:    p.stale,
+				Length:   p.length.State(),
+				Upload:   p.upload.State(),
+				Learner:  p.learner.State(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(s.Nodes, func(a, b int) bool { return s.Nodes[a].ID < s.Nodes[b].ID })
+	return s
+}
+
+// Restore replaces the fleet's profiles with the snapshot's. The
+// snapshot must come from a fleet with the same base deployment
+// (fingerprint-checked) and slot count. Cached plans survive: they are
+// keyed by learned-state fingerprints, which restoring does not change.
+func (f *Fleet) Restore(s *Snapshot) error {
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("fleet: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if s.BaseFingerprint != f.baseFP {
+		return fmt.Errorf("fleet: snapshot base fingerprint %016x does not match configured base %016x", s.BaseFingerprint, f.baseFP)
+	}
+	restored := make(map[int]map[string]*profile, len(f.shards))
+	var observed, stale int64
+	for _, n := range s.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("fleet: snapshot contains a node with an empty ID")
+		}
+		if got := len(n.Learner.Slots); got != len(f.cfg.Base.Slots) {
+			return fmt.Errorf("fleet: node %s learner has %d slots, base scenario has %d", n.ID, got, len(f.cfg.Base.Slots))
+		}
+		if n.Learner.RushSlots != f.cfg.RushSlots {
+			// RushSlots is fleet configuration, not base-scenario state,
+			// so the fingerprint guard cannot catch this; a mismatch would
+			// make restored nodes rank a different number of rush slots
+			// than newly admitted ones.
+			return fmt.Errorf("fleet: node %s learner ranks %d rush slots, fleet is configured for %d", n.ID, n.Learner.RushSlots, f.cfg.RushSlots)
+		}
+		length, err := learn.RestoreContactLength(n.Length)
+		if err != nil {
+			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
+		}
+		upload, err := learn.RestoreUploadAmount(n.Upload)
+		if err != nil {
+			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
+		}
+		learner, err := learn.RestoreRushHourLearner(n.Learner)
+		if err != nil {
+			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
+		}
+		si := f.shardIndex(n.ID)
+		if restored[si] == nil {
+			restored[si] = make(map[string]*profile)
+		}
+		if _, dup := restored[si][n.ID]; dup {
+			return fmt.Errorf("fleet: snapshot contains node %s twice", n.ID)
+		}
+		restored[si][n.ID] = &profile{
+			id:       n.ID,
+			length:   length,
+			upload:   upload,
+			learner:  learner,
+			epoch:    n.Epoch,
+			observed: n.Observed,
+			stale:    n.Stale,
+		}
+		observed += n.Observed
+		stale += n.Stale
+	}
+	// All-or-nothing: swap in the new maps only after every node parsed.
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		sh.nodes = restored[i]
+		if sh.nodes == nil {
+			sh.nodes = make(map[string]*profile)
+		}
+		sh.mu.Unlock()
+	}
+	f.accepted.Store(observed)
+	f.stale.Store(stale)
+	return nil
+}
+
+// WriteSnapshot serializes the fleet's state as JSON.
+func (f *Fleet) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f.Snapshot()); err != nil {
+		return fmt.Errorf("fleet: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot restores the fleet's state from JSON written by
+// WriteSnapshot.
+func (f *Fleet) ReadSnapshot(r io.Reader) error {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("fleet: decode snapshot: %w", err)
+	}
+	return f.Restore(&s)
+}

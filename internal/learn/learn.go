@@ -284,6 +284,95 @@ func (d *DriftTracker) ObserveEpoch(learned []bool) bool {
 	return true
 }
 
+// ContactLengthState is the serializable state of a ContactLength
+// estimator.
+type ContactLengthState struct {
+	Prior float64         `json:"prior"`
+	EWMA  stats.EWMAState `json:"ewma"`
+}
+
+// State exports the estimator for persistence.
+func (c *ContactLength) State() ContactLengthState {
+	return ContactLengthState{Prior: c.prior, EWMA: c.ewma.State()}
+}
+
+// RestoreContactLength rebuilds an estimator from exported state.
+func RestoreContactLength(s ContactLengthState) (*ContactLength, error) {
+	c := NewContactLength(s.Prior)
+	if err := c.ewma.SetState(s.EWMA); err != nil {
+		return nil, fmt.Errorf("learn: contact length: %w", err)
+	}
+	return c, nil
+}
+
+// UploadAmountState is the serializable state of an UploadAmount
+// estimator.
+type UploadAmountState struct {
+	Prior float64         `json:"prior"`
+	EWMA  stats.EWMAState `json:"ewma"`
+}
+
+// State exports the estimator for persistence.
+func (u *UploadAmount) State() UploadAmountState {
+	return UploadAmountState{Prior: u.prior, EWMA: u.ewma.State()}
+}
+
+// RestoreUploadAmount rebuilds an estimator from exported state.
+func RestoreUploadAmount(s UploadAmountState) (*UploadAmount, error) {
+	u := NewUploadAmount(s.Prior)
+	if err := u.ewma.SetState(s.EWMA); err != nil {
+		return nil, fmt.Errorf("learn: upload amount: %w", err)
+	}
+	return u, nil
+}
+
+// RushHourState is the serializable state of a RushHourLearner: the
+// per-slot smoothed capacities, the current epoch's accumulator, and the
+// epoch count. The slot count is implied by the slice lengths.
+type RushHourState struct {
+	RushSlots int               `json:"rushSlots"`
+	Epochs    int               `json:"epochs"`
+	EpochCap  []float64         `json:"epochCap"`
+	Slots     []stats.EWMAState `json:"slots"`
+}
+
+// State exports the learner for persistence.
+func (l *RushHourLearner) State() RushHourState {
+	s := RushHourState{
+		RushSlots: l.rushSlots,
+		Epochs:    l.epochs,
+		EpochCap:  make([]float64, l.slots),
+		Slots:     make([]stats.EWMAState, l.slots),
+	}
+	copy(s.EpochCap, l.epochCap)
+	for i, e := range l.perEpoch {
+		s.Slots[i] = e.State()
+	}
+	return s
+}
+
+// RestoreRushHourLearner rebuilds a learner from exported state.
+func RestoreRushHourLearner(s RushHourState) (*RushHourLearner, error) {
+	if len(s.Slots) != len(s.EpochCap) {
+		return nil, fmt.Errorf("learn: rush-hour state has %d slot averages but %d accumulators", len(s.Slots), len(s.EpochCap))
+	}
+	if s.Epochs < 0 {
+		return nil, fmt.Errorf("learn: rush-hour state has negative epoch count %d", s.Epochs)
+	}
+	l, err := NewRushHourLearner(len(s.Slots), s.RushSlots)
+	if err != nil {
+		return nil, err
+	}
+	copy(l.epochCap, s.EpochCap)
+	for i := range l.perEpoch {
+		if err := l.perEpoch[i].SetState(s.Slots[i]); err != nil {
+			return nil, fmt.Errorf("learn: rush-hour slot %d: %w", i, err)
+		}
+	}
+	l.epochs = s.Epochs
+	return l, nil
+}
+
 // RelativeError returns |est-actual|/actual, or +Inf when actual is 0 —
 // a helper shared by the learning experiments.
 func RelativeError(est, actual float64) float64 {

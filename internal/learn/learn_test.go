@@ -3,6 +3,8 @@ package learn
 import (
 	"math"
 	"testing"
+
+	"rushprobe/internal/stats"
 )
 
 func TestContactLengthPrior(t *testing.T) {
@@ -328,4 +330,165 @@ func equalMask(a, b []bool) bool {
 		}
 	}
 	return true
+}
+
+// feedEpoch plays one epoch of observations into the learner: capacity
+// `rushCap` in each of the rush slots, `baseCap` everywhere else.
+func feedEpoch(l *RushHourLearner, slots int, rush map[int]bool, rushCap, baseCap float64) {
+	for s := 0; s < slots; s++ {
+		c := baseCap
+		if rush[s] {
+			c = rushCap
+		}
+		l.ObserveContact(s, c)
+	}
+	l.EndEpoch()
+}
+
+func maskSet(mask []bool) map[int]bool {
+	out := make(map[int]bool)
+	for i, m := range mask {
+		if m {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRushHourLearnerReRanksAfterPatternShift is the fleet's "profiles
+// go stale" story: after the whole mobility pattern is displaced by six
+// slots (a WithPatternShift-style seasonal move), the learner's EWMA
+// must re-rank the slots and emit the shifted mask within a handful of
+// epochs.
+func TestRushHourLearnerReRanksAfterPatternShift(t *testing.T) {
+	const (
+		slots   = 24
+		rushN   = 4
+		shiftBy = 6
+		// With alpha = 0.3, old rush slots decay as 20*0.7^k while new
+		// ones rise as 20*(1-0.7^k); the ranking crosses at k = 2, so five
+		// epochs is a comfortable re-convergence bound.
+		maxEpochs = 5
+	)
+	l, err := NewRushHourLearner(slots, rushN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := map[int]bool{7: true, 8: true, 17: true, 18: true}
+	for e := 0; e < 6; e++ {
+		feedEpoch(l, slots, orig, 20, 1)
+	}
+	if got := maskSet(l.Mask()); !sameSet(got, orig) {
+		t.Fatalf("learner failed to learn the original mask: got %v", got)
+	}
+
+	shifted := make(map[int]bool)
+	for s := range orig {
+		shifted[(s+shiftBy)%slots] = true
+	}
+	converged := -1
+	for e := 1; e <= maxEpochs; e++ {
+		feedEpoch(l, slots, shifted, 20, 1)
+		if sameSet(maskSet(l.Mask()), shifted) {
+			converged = e
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("learner did not re-rank to the shifted mask within %d epochs: got %v, want %v",
+			maxEpochs, maskSet(l.Mask()), shifted)
+	}
+	t.Logf("re-ranked after %d epochs", converged)
+}
+
+func TestRushHourLearnerStateRoundTrip(t *testing.T) {
+	l, err := NewRushHourLearner(24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rush := map[int]bool{7: true, 8: true, 17: true, 18: true}
+	for e := 0; e < 3; e++ {
+		feedEpoch(l, 24, rush, 20, 1)
+	}
+	// Leave a partially accumulated epoch in flight.
+	l.ObserveContact(7, 5)
+	l.ObserveContact(12, 2)
+
+	back, err := RestoreRushHourLearner(l.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if back.Epochs() != l.Epochs() {
+		t.Fatalf("epochs: got %d, want %d", back.Epochs(), l.Epochs())
+	}
+	// Both must evolve identically from the snapshot point.
+	feedEpoch(l, 24, rush, 20, 1)
+	feedEpoch(back, 24, rush, 20, 1)
+	wantCaps, gotCaps := l.Capacity(), back.Capacity()
+	for i := range wantCaps {
+		if wantCaps[i] != gotCaps[i] {
+			t.Fatalf("slot %d capacity diverged after restore: %v vs %v", i, gotCaps[i], wantCaps[i])
+		}
+	}
+	if got, want := maskSet(back.Mask()), maskSet(l.Mask()); !sameSet(got, want) {
+		t.Fatalf("mask diverged after restore: %v vs %v", got, want)
+	}
+}
+
+func TestRestoreRushHourLearnerRejectsInconsistent(t *testing.T) {
+	if _, err := RestoreRushHourLearner(RushHourState{RushSlots: 1, EpochCap: []float64{0, 0}, Slots: make([]stats.EWMAState, 3)}); err == nil {
+		t.Error("mismatched slice lengths should be rejected")
+	}
+	if _, err := RestoreRushHourLearner(RushHourState{RushSlots: 5, EpochCap: []float64{0, 0}, Slots: make([]stats.EWMAState, 2)}); err == nil {
+		t.Error("rushSlots beyond the slot count should be rejected")
+	}
+	if _, err := RestoreRushHourLearner(RushHourState{RushSlots: 1, Epochs: -1, EpochCap: []float64{0}, Slots: make([]stats.EWMAState, 1)}); err == nil {
+		t.Error("negative epoch count should be rejected")
+	}
+}
+
+func TestContactLengthStateRoundTrip(t *testing.T) {
+	c := NewContactLength(2)
+	c.Observe(1.5)
+	c.Observe(2.5)
+	back, err := RestoreContactLength(c.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mean() != c.Mean() || back.Samples() != c.Samples() {
+		t.Fatalf("restored contact length differs: %v/%d vs %v/%d", back.Mean(), back.Samples(), c.Mean(), c.Samples())
+	}
+	// Fresh estimator state keeps reporting the prior.
+	fresh, err := RestoreContactLength(NewContactLength(3).State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Mean() != 3 {
+		t.Fatalf("restored fresh estimator should report its prior, got %v", fresh.Mean())
+	}
+}
+
+func TestUploadAmountStateRoundTrip(t *testing.T) {
+	u := NewUploadAmount(1000)
+	u.Observe(500)
+	u.Observe(0)
+	back, err := RestoreUploadAmount(u.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Threshold() != u.Threshold() {
+		t.Fatalf("restored upload threshold differs: %v vs %v", back.Threshold(), u.Threshold())
+	}
 }

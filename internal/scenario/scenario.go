@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 
 	"rushprobe/internal/dist"
 	"rushprobe/internal/model"
@@ -367,6 +368,87 @@ func Roadside(opts ...RoadsideOption) *Scenario {
 		GroupProb:      cfg.groupProb,
 		Contention:     cfg.contention,
 	}
+}
+
+// FNV-1a 64-bit constants (hash/fnv, inlined so hashing allocates
+// nothing and needs no byte buffers).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds an 8-byte little-endian value into an FNV-1a hash.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvFloat folds a float64's bit pattern into the hash.
+func fnvFloat(h uint64, f float64) uint64 { return fnvUint64(h, math.Float64bits(f)) }
+
+// fnvString folds a string into the hash.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvSampler folds a distribution spec (kind plus every parameter field,
+// unused ones zero) into the hash; nil samplers hash as a distinct
+// marker.
+func fnvSampler(h uint64, s dist.Sampler) (uint64, error) {
+	if s == nil {
+		return fnvUint64(h, 0), nil
+	}
+	spec, err := dist.SpecOf(s)
+	if err != nil {
+		return 0, err
+	}
+	h = fnvString(h, spec.Kind)
+	for _, f := range []float64{spec.Value, spec.Mu, spec.Sigma, spec.Mean, spec.Lo, spec.Hi} {
+		h = fnvFloat(h, f)
+	}
+	return h, nil
+}
+
+// Fingerprint returns a stable 64-bit hash of the scenario's
+// scheduling-relevant fields: the epoch length, every slot's interval
+// and length distribution and rush-hour flag, the radio's Ton, the
+// energy budget PhiMax, and the capacity target ZetaTarget. Two
+// scenarios with equal fingerprints receive identical probing plans, so
+// the fingerprint keys the fleet's plan cache. Presentation-only fields
+// (Name) and fields that do not influence the probing schedule
+// (UploadRate, BufferCap, loss and contention settings) are deliberately
+// excluded. It returns an error for slot distributions that have no
+// serializable spec.
+func (sc *Scenario) Fingerprint() (uint64, error) {
+	h := uint64(fnvOffset64)
+	h = fnvFloat(h, sc.Epoch.Seconds())
+	h = fnvFloat(h, sc.Radio.Ton)
+	h = fnvFloat(h, sc.PhiMax)
+	h = fnvFloat(h, sc.ZetaTarget)
+	h = fnvUint64(h, uint64(len(sc.Slots)))
+	for i, s := range sc.Slots {
+		var err error
+		if h, err = fnvSampler(h, s.Interval); err != nil {
+			return 0, fmt.Errorf("scenario: slot %d interval: %w", i, err)
+		}
+		if h, err = fnvSampler(h, s.Length); err != nil {
+			return 0, fmt.Errorf("scenario: slot %d length: %w", i, err)
+		}
+		rush := uint64(0)
+		if s.RushHour {
+			rush = 1
+		}
+		h = fnvUint64(h, rush)
+	}
+	return h, nil
 }
 
 // jsonScenario is the serialized form of a Scenario.

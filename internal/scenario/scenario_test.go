@@ -259,3 +259,86 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 		t.Error("garbage should fail to decode")
 	}
 }
+
+func TestFingerprintStable(t *testing.T) {
+	a, err := Roadside().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Roadside().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical scenarios should share a fingerprint: %x vs %x", a, b)
+	}
+	// A JSON round-trip must preserve the fingerprint: the serving layer
+	// relies on snapshot/restore not invalidating cached plans.
+	data, err := Roadside().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	c, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("fingerprint changed across JSON round-trip: %x vs %x", c, a)
+	}
+}
+
+func TestFingerprintIgnoresNonSchedulingFields(t *testing.T) {
+	base, err := Roadside().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Roadside()
+	sc.Name = "renamed"
+	sc.UploadRate = 999
+	sc.BufferCap = 4096
+	got, err := sc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatal("name/upload/buffer changes must not change the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base, err := Roadside().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]*Scenario{
+		"budget":   Roadside(WithBudgetFraction(1.0 / 100)),
+		"target":   Roadside(WithZetaTarget(48)),
+		"interval": Roadside(WithIntervals(200, 1800)),
+		"length":   Roadside(WithContactLength(4)),
+		"fixed":    Roadside(WithFixedLengths()),
+	}
+	ton := Roadside()
+	ton.Radio.Ton = 0.040
+	mutations["ton"] = ton
+	rush := Roadside()
+	rush.Slots[3].RushHour = true
+	mutations["rushmask"] = rush
+	seen := map[uint64]string{0: "zero"}
+	for name, sc := range mutations {
+		fp, err := sc.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp == base {
+			t.Errorf("%s mutation did not change the fingerprint", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision between %s and %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}

@@ -1,9 +1,11 @@
 // Package stats provides the small statistical estimators the system
 // needs online (EWMA, running mean/variance) and offline (histograms,
-// confidence intervals for replicated simulation runs).
+// confidence intervals for replicated simulation runs), plus the JSON
+// helpers shared by the serving layer.
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -60,6 +62,70 @@ func (e *EWMA) Reset() {
 	e.value = 0
 	e.seeded = false
 	e.count = 0
+}
+
+// EWMAState is the serializable state of an EWMA: everything except the
+// weight, which the owning estimator fixes at construction. Float64
+// values survive a JSON round-trip exactly (encoding/json emits the
+// shortest representation that parses back to the same bits), so a
+// snapshot/restore cycle is bit-deterministic.
+type EWMAState struct {
+	Value  float64 `json:"value"`
+	Count  int     `json:"count"`
+	Seeded bool    `json:"seeded,omitempty"`
+}
+
+// State exports the EWMA's current state.
+func (e *EWMA) State() EWMAState {
+	return EWMAState{Value: e.value, Count: e.count, Seeded: e.seeded}
+}
+
+// SetState replaces the EWMA's state, keeping its weight. It returns an
+// error for inconsistent states (a seeded average with no samples, or a
+// negative sample count).
+func (e *EWMA) SetState(s EWMAState) error {
+	if s.Count < 0 {
+		return fmt.Errorf("stats: EWMA state has negative count %d", s.Count)
+	}
+	if s.Seeded && s.Count == 0 {
+		return fmt.Errorf("stats: EWMA state seeded with zero samples")
+	}
+	e.value = s.Value
+	e.count = s.Count
+	e.seeded = s.Seeded
+	return nil
+}
+
+// JSONFloat is a float64 whose JSON form is null when the value is not
+// finite. encoding/json refuses to marshal NaN and ±Inf, which would
+// turn a legitimate sentinel — Rho is +Inf when nothing is probed — into
+// a serving-layer error; JSONFloat marshals those as null instead.
+// Unmarshaling null yields +Inf, the convention of the cost ratios this
+// helper exists for.
+type JSONFloat float64
+
+// MarshalJSON encodes finite values as numbers and non-finite ones as
+// null.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON decodes numbers directly and null as +Inf.
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("stats: JSONFloat: %w", err)
+	}
+	*f = JSONFloat(v)
+	return nil
 }
 
 // Welford accumulates a running mean and variance using Welford's

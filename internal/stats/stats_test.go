@@ -277,3 +277,69 @@ func TestEWMAEnvelopeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEWMAStateRoundTrip(t *testing.T) {
+	e := NewEWMA(0.1)
+	for _, v := range []float64{2.0, 3.5, 1.25, 7.75} {
+		e.Observe(v)
+	}
+	s := e.State()
+	back := NewEWMA(0.1)
+	if err := back.SetState(s); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	if back.Value() != e.Value() || back.Count() != e.Count() || back.Seeded() != e.Seeded() {
+		t.Fatalf("restored EWMA %+v differs from original %+v", back, e)
+	}
+	// Both must evolve identically from here.
+	e.Observe(4.0)
+	back.Observe(4.0)
+	if back.Value() != e.Value() {
+		t.Fatalf("restored EWMA diverges after next sample: %v vs %v", back.Value(), e.Value())
+	}
+}
+
+func TestEWMASetStateRejectsInconsistent(t *testing.T) {
+	e := NewEWMA(0.1)
+	if err := e.SetState(EWMAState{Count: -1}); err == nil {
+		t.Error("negative count should be rejected")
+	}
+	if err := e.SetState(EWMAState{Seeded: true, Count: 0}); err == nil {
+		t.Error("seeded state with zero samples should be rejected")
+	}
+}
+
+func TestJSONFloatMarshal(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+		{math.NaN(), "null"},
+	}
+	for _, tt := range tests {
+		got, err := JSONFloat(tt.in).MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tt.in, err)
+		}
+		if string(got) != tt.want {
+			t.Errorf("marshal %v = %s, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestJSONFloatUnmarshal(t *testing.T) {
+	var f JSONFloat
+	if err := f.UnmarshalJSON([]byte("2.25")); err != nil || float64(f) != 2.25 {
+		t.Fatalf("unmarshal number: %v, %v", f, err)
+	}
+	if err := f.UnmarshalJSON([]byte("null")); err != nil || !math.IsInf(float64(f), 1) {
+		t.Fatalf("unmarshal null should give +Inf, got %v, %v", f, err)
+	}
+	if err := f.UnmarshalJSON([]byte(`"x"`)); err == nil {
+		t.Error("unmarshal of a string should fail")
+	}
+}

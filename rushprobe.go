@@ -564,7 +564,9 @@ func (t *Table) internalTable() *experiments.Table {
 
 // ExperimentIDs lists the registered experiments: fig3..fig8 reproduce
 // the paper's figures; ext-* exercise the discussion and future-work
-// claims (see DESIGN.md §4).
+// claims. Use ExperimentDescription for each ID's one-line summary; the
+// figure benchmarks in bench_test.go assert every experiment's expected
+// shape.
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // ExperimentDescription returns the one-line description of an
