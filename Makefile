@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build build-cmds test race fmt vet bench-smoke bench-baseline serve smoke-fleet
+.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline serve smoke-fleet loadtest
 
 all: fmt vet build test
 
@@ -12,11 +12,18 @@ build:
 build-cmds:
 	$(GO) build -o bin/ ./cmd/...
 
+# Link every examples/* program into bin/examples/ (each directory's
+# README says what it models and how to run it).
+examples:
+	$(GO) build -o bin/examples/ ./examples/...
+
 test:
 	$(GO) test ./...
 
+# -short skips the slow simulation goldens (they are numeric, not
+# concurrent, and the plain `make test` already runs them in full).
 race:
-	$(GO) test -race . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/fleet/ ./cmd/rushprobed/
+	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/fleet/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -34,6 +41,17 @@ serve:
 smoke-fleet: build-cmds
 	./bin/tracegen -days 4 -seed 7 > bin/smoke-trace.csv
 	./bin/rushprobed -smoke -trace bin/smoke-trace.csv -smoke-nodes 8
+
+# Trace-replay load test: start rushprobed on a loopback port, stream
+# 10 s of observations at 1000 obs/s with rushbench (nodes split across
+# SNIP-OPT and SNIP-RH), and fail if any request fails. The JSON
+# summary (throughput, latency percentiles, per-strategy deltas) goes
+# to stdout.
+loadtest: build-cmds
+	@./bin/rushprobed -addr 127.0.0.1:18080 -bootstrap-epochs 1 & pid=$$!; \
+	./bin/rushbench -addr http://127.0.0.1:18080 -rate 1000 -duration 10s \
+		-nodes 64 -strategies SNIP-OPT,SNIP-RH; \
+	status=$$?; kill $$pid 2>/dev/null; exit $$status
 
 # Fast perf sanity check: the DES hot path (must stay 0 allocs/op), the
 # replication fan-out, and the fleet ingest path (must stay

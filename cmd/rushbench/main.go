@@ -1,0 +1,497 @@
+// Command rushbench is a trace-replay load generator for rushprobed: it
+// streams a contact trace (generated internally or recorded with
+// tracegen) against a running daemon as batched observe requests at a
+// configurable rate and concurrency, optionally splits the synthetic
+// node population across probing strategies, and reports throughput,
+// request-latency percentiles, and per-strategy energy/goodput deltas
+// as a JSON summary on stdout.
+//
+// Usage:
+//
+//	rushprobed -addr :8080 &
+//	rushbench -addr http://127.0.0.1:8080 -rate 1000 -duration 10s
+//	rushbench -trace trace.csv -nodes 64 -strategies SNIP-OPT,SNIP-RH
+//
+// The exit status is non-zero if any request fails, so CI can assert a
+// clean run (`make loadtest`).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rushprobe"
+	"rushprobe/internal/contact"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+	"rushprobe/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rushbench:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the resolved flags.
+type config struct {
+	base        string
+	rate        float64
+	duration    time.Duration
+	concurrency int
+	batch       int
+	nodes       int
+	tracePath   string
+	seed        uint64
+	strategies  []string
+	wait        time.Duration
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rushbench", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "base URL of the rushprobed daemon")
+		rate        = fs.Float64("rate", 1000, "target observation ingest rate (observations/second)")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to stream observations")
+		concurrency = fs.Int("concurrency", 4, "concurrent HTTP workers")
+		batch       = fs.Int("batch", 100, "observations per observe request")
+		nodes       = fs.Int("nodes", 64, "synthetic node population the trace is fanned out to")
+		tracePath   = fs.String("trace", "", "contact trace CSV to replay (e.g. from tracegen); default: generate the road-side trace")
+		seed        = fs.Uint64("seed", 1, "seed for the internally generated trace")
+		strategies  = fs.String("strategies", "", "comma-separated strategies to split the node population across (default: fleet default only)")
+		wait        = fs.Duration("wait", 5*time.Second, "how long to wait for the daemon's /v1/healthz before starting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := config{
+		base:        strings.TrimSuffix(*addr, "/"),
+		rate:        *rate,
+		duration:    *duration,
+		concurrency: *concurrency,
+		batch:       *batch,
+		nodes:       *nodes,
+		tracePath:   *tracePath,
+		seed:        *seed,
+		wait:        *wait,
+	}
+	if !strings.HasPrefix(cfg.base, "http://") && !strings.HasPrefix(cfg.base, "https://") {
+		cfg.base = "http://" + cfg.base
+	}
+	if cfg.rate <= 0 || cfg.duration <= 0 || cfg.concurrency < 1 || cfg.batch < 1 || cfg.nodes < 1 {
+		return fmt.Errorf("rate, duration, concurrency, batch, and nodes must be positive")
+	}
+	if *strategies != "" {
+		for _, s := range strings.Split(*strategies, ",") {
+			cfg.strategies = append(cfg.strategies, strings.TrimSpace(s))
+		}
+	}
+	summary, err := bench(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summary); err != nil {
+		return err
+	}
+	if summary.Requests.Failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", summary.Requests.Failed, summary.Requests.Sent)
+	}
+	return nil
+}
+
+// Summary is the JSON report rushbench emits.
+type Summary struct {
+	Config struct {
+		Target      string  `json:"target"`
+		RatePerSec  float64 `json:"ratePerSec"`
+		DurationSec float64 `json:"durationSec"`
+		Concurrency int     `json:"concurrency"`
+		Batch       int     `json:"batch"`
+		Nodes       int     `json:"nodes"`
+		TraceSource string  `json:"traceSource"`
+	} `json:"config"`
+	Requests struct {
+		Sent   int `json:"sent"`
+		Failed int `json:"failed"`
+	} `json:"requests"`
+	Observations struct {
+		Sent     int   `json:"sent"`
+		Accepted int64 `json:"accepted"`
+	} `json:"observations"`
+	ElapsedSec    float64 `json:"elapsedSec"`
+	ThroughputRPS float64 `json:"throughputRps"`
+	ThroughputOPS float64 `json:"throughputObsPerSec"`
+	LatencyMs     struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latencyMs"`
+	Strategies []StrategyReport `json:"strategies"`
+}
+
+// StrategyReport aggregates the schedules served to one strategy group
+// after the replay: the group's mean expected energy (phi) and goodput
+// (zeta, probed contact capacity — the upload opportunity), plus deltas
+// against the first group.
+type StrategyReport struct {
+	Strategy     string  `json:"strategy"`
+	Nodes        int     `json:"nodes"`
+	MeanZeta     float64 `json:"meanZeta"`
+	MeanPhi      float64 `json:"meanPhi"`
+	Rho          float64 `json:"rho,omitempty"`
+	DeltaZetaPct float64 `json:"deltaZetaPct"`
+	DeltaPhiPct  float64 `json:"deltaPhiPct"`
+}
+
+// loadContacts reads the replay trace from the CSV path, or generates
+// the canonical road-side trace (7 days) when path is empty.
+func loadContacts(path string, seed uint64) ([]contact.Contact, string, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		cs, err := trace.Read(f)
+		return cs, path, err
+	}
+	gen, err := contact.NewGenerator(scenario.Roadside(), rng.New(seed))
+	if err != nil {
+		return nil, "", err
+	}
+	return gen.GenerateUntil(simtime.Instant(7 * simtime.Day)), "generated:roadside-7d", nil
+}
+
+// nodeCursor replays one node's view of the trace: consecutive draws
+// walk the contacts in order and wrap around with a whole-epoch time
+// offset, so a node's observation times are strictly nondecreasing
+// across passes (the fleet discards backward-in-time reports as stale).
+type nodeCursor struct {
+	id     string
+	pos    int
+	offset float64
+}
+
+func (c *nodeCursor) next(contacts []contact.Contact, span float64) rushprobe.Observation {
+	o := rushprobe.Observation{
+		Node:     c.id,
+		Time:     contacts[c.pos].Start.Seconds() + c.offset,
+		Length:   contacts[c.pos].Length.Seconds(),
+		Uploaded: -1,
+	}
+	c.pos++
+	if c.pos == len(contacts) {
+		c.pos = 0
+		c.offset += span
+	}
+	return o
+}
+
+// batchPlan is one pre-marshaled observe request with its pacing slot.
+type batchPlan struct {
+	index int
+	node  int
+	body  []byte
+	count int
+	at    time.Duration
+}
+
+type observeRequest struct {
+	Observations []rushprobe.Observation `json:"observations"`
+}
+
+type observeResponse struct {
+	Received int `json:"received"`
+	Accepted int `json:"accepted"`
+}
+
+// bench runs the replay and collects the summary.
+func bench(cfg config) (*Summary, error) {
+	contacts, source, err := loadContacts(cfg.tracePath, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(contacts) == 0 {
+		return nil, fmt.Errorf("empty contact trace")
+	}
+	// Wrap-around span: the trace length rounded up to whole days, so
+	// replay passes stay epoch-aligned.
+	last := contacts[len(contacts)-1]
+	span := math.Ceil((last.Start.Seconds()+last.Length.Seconds())/86400) * 86400
+
+	if err := waitHealthy(cfg.base, cfg.wait); err != nil {
+		return nil, err
+	}
+
+	// Assign strategies to node groups before the replay starts.
+	groups := cfg.strategies
+	if len(groups) == 0 {
+		groups = []string{""}
+	}
+	nodeIDs := make([]string, cfg.nodes)
+	cursors := make([]nodeCursor, cfg.nodes)
+	for n := range nodeIDs {
+		nodeIDs[n] = fmt.Sprintf("bench-%04d", n)
+		cursors[n] = nodeCursor{id: nodeIDs[n]}
+	}
+	for n, id := range nodeIDs {
+		name := groups[n%len(groups)]
+		if name == "" {
+			continue
+		}
+		if err := setStrategy(cfg.base, id, name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pre-build every batch so node cursors advance serially (replay
+	// order per node is what keeps observations non-stale); workers then
+	// only pace and POST. Batch i belongs to node i % nodes, and a
+	// node's batches always land on the same worker, preserving
+	// per-node send order under concurrency.
+	total := int(math.Ceil(cfg.rate * cfg.duration.Seconds() / float64(cfg.batch)))
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(cfg.batch) / cfg.rate * float64(time.Second))
+	plans := make([]batchPlan, total)
+	obsSent := 0
+	for i := range plans {
+		node := i % cfg.nodes
+		obs := make([]rushprobe.Observation, cfg.batch)
+		for j := range obs {
+			obs[j] = cursors[node].next(contacts, span)
+		}
+		body, err := json.Marshal(observeRequest{Observations: obs})
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = batchPlan{index: i, node: node, body: body, count: len(obs), at: time.Duration(i) * interval}
+		obsSent += len(obs)
+	}
+
+	// Replay: worker w owns the batches of nodes n with n % concurrency
+	// == w, in index order.
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failed    int
+		accepted  int64
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range plans {
+				p := &plans[i]
+				if p.node%cfg.concurrency != w {
+					continue
+				}
+				if d := time.Until(start.Add(p.at)); d > 0 {
+					time.Sleep(d)
+				}
+				t0 := time.Now()
+				acc, err := postObserve(client, cfg.base, p.body)
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if err != nil {
+					failed++
+				} else {
+					accepted += int64(acc)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := &Summary{}
+	s.Config.Target = cfg.base
+	s.Config.RatePerSec = cfg.rate
+	s.Config.DurationSec = cfg.duration.Seconds()
+	s.Config.Concurrency = cfg.concurrency
+	s.Config.Batch = cfg.batch
+	s.Config.Nodes = cfg.nodes
+	s.Config.TraceSource = source
+	s.Requests.Sent = len(plans)
+	s.Requests.Failed = failed
+	s.Observations.Sent = obsSent
+	s.Observations.Accepted = accepted
+	s.ElapsedSec = elapsed.Seconds()
+	if elapsed > 0 {
+		s.ThroughputRPS = float64(len(plans)) / elapsed.Seconds()
+		s.ThroughputOPS = float64(obsSent) / elapsed.Seconds()
+	}
+	fillLatencies(s, latencies)
+
+	reports, err := strategyReports(client, cfg.base, groups, nodeIDs)
+	if err != nil {
+		return nil, err
+	}
+	s.Strategies = reports
+	return s, nil
+}
+
+// fillLatencies computes the latency percentiles in milliseconds.
+func fillLatencies(s *Summary, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	s.LatencyMs.P50 = pct(0.50)
+	s.LatencyMs.P90 = pct(0.90)
+	s.LatencyMs.P99 = pct(0.99)
+	s.LatencyMs.Max = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+}
+
+// strategyReports fetches every node's served schedule and aggregates
+// expected goodput/energy per strategy group, with deltas against the
+// first group.
+func strategyReports(client *http.Client, base string, groups, nodeIDs []string) ([]StrategyReport, error) {
+	type agg struct {
+		zeta, phi float64
+		n         int
+		name      string
+	}
+	aggs := make([]agg, len(groups))
+	for n, id := range nodeIDs {
+		g := n % len(groups)
+		var sched struct {
+			Mechanism string  `json:"mechanism"`
+			Zeta      float64 `json:"zeta"`
+			Phi       float64 `json:"phi"`
+		}
+		if err := getJSON(client, base+"/v1/schedule/"+id, &sched); err != nil {
+			return nil, fmt.Errorf("schedule %s: %w", id, err)
+		}
+		aggs[g].zeta += sched.Zeta
+		aggs[g].phi += sched.Phi
+		aggs[g].n++
+		aggs[g].name = sched.Mechanism
+	}
+	out := make([]StrategyReport, len(groups))
+	for g := range aggs {
+		r := StrategyReport{Strategy: aggs[g].name, Nodes: aggs[g].n}
+		if groups[g] != "" {
+			r.Strategy = groups[g]
+		}
+		if aggs[g].n > 0 {
+			r.MeanZeta = aggs[g].zeta / float64(aggs[g].n)
+			r.MeanPhi = aggs[g].phi / float64(aggs[g].n)
+		}
+		if r.MeanZeta > 0 {
+			r.Rho = r.MeanPhi / r.MeanZeta
+		}
+		out[g] = r
+	}
+	for g := range out {
+		if out[0].MeanZeta > 0 {
+			out[g].DeltaZetaPct = 100 * (out[g].MeanZeta - out[0].MeanZeta) / out[0].MeanZeta
+		}
+		if out[0].MeanPhi > 0 {
+			out[g].DeltaPhiPct = 100 * (out[g].MeanPhi - out[0].MeanPhi) / out[0].MeanPhi
+		}
+	}
+	return out, nil
+}
+
+// waitHealthy polls /v1/healthz until the daemon answers or the budget
+// runs out.
+func waitHealthy(base string, budget time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon at %s not healthy after %v: %w", base, budget, err)
+			}
+			return fmt.Errorf("daemon at %s not healthy after %v", base, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// setStrategy assigns a node's strategy via POST /v1/strategy/{node}.
+func setStrategy(base, node, name string) error {
+	body, err := json.Marshal(struct {
+		Strategy string `json:"strategy"`
+	}{Strategy: name})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/strategy/"+node, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("set strategy %s for %s: HTTP %d: %s", name, node, resp.StatusCode, data)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// postObserve sends one observe batch and returns the accepted count.
+func postObserve(client *http.Client, base string, body []byte) (int, error) {
+	resp, err := client.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var or observeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		return 0, err
+	}
+	return or.Accepted, nil
+}
+
+// getJSON fetches a URL and decodes the JSON body into v.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rushprobe"
+)
+
+// newFleetServer is a minimal in-test rushprobed: the daemon's four
+// endpoints rushbench talks to, backed by a real Fleet.
+func newFleetServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	f, err := rushprobe.NewFleet(rushprobe.Roadside(rushprobe.WithZetaTarget(24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		var req observeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		acc := f.Observe(req.Observations)
+		json.NewEncoder(w).Encode(observeResponse{Received: len(req.Observations), Accepted: acc})
+	})
+	mux.HandleFunc("/v1/schedule/", func(w http.ResponseWriter, r *http.Request) {
+		node := strings.TrimPrefix(r.URL.Path, "/v1/schedule/")
+		sched, err := f.Schedule(node)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(sched)
+	})
+	mux.HandleFunc("/v1/strategy/", func(w http.ResponseWriter, r *http.Request) {
+		node := strings.TrimPrefix(r.URL.Path, "/v1/strategy/")
+		var req struct {
+			Strategy string `json:"strategy"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		inForce, err := f.SetStrategy(node, req.Strategy)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"node": node, "strategy": inForce})
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestBenchAgainstFleet replays the generated trace against an
+// in-process fleet server: every request and every observation must be
+// accepted, and the JSON summary must carry throughput, latencies, and
+// one report per strategy group.
+func TestBenchAgainstFleet(t *testing.T) {
+	srv := newFleetServer(t)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", srv.URL,
+		"-rate", "2000",
+		"-duration", "500ms",
+		"-concurrency", "3",
+		"-batch", "50",
+		"-nodes", "8",
+		"-strategies", "SNIP-OPT,rh",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	var s Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not JSON: %v\n%s", err, out.String())
+	}
+	if s.Requests.Sent == 0 || s.Requests.Failed != 0 {
+		t.Fatalf("requests = %+v, want >0 sent and 0 failed", s.Requests)
+	}
+	if s.Observations.Accepted != int64(s.Observations.Sent) {
+		t.Fatalf("accepted %d of %d observations (replay must never go stale)",
+			s.Observations.Accepted, s.Observations.Sent)
+	}
+	if s.ThroughputOPS <= 0 || s.LatencyMs.P50 < 0 || s.LatencyMs.Max <= 0 {
+		t.Fatalf("throughput/latency not measured: %+v", s)
+	}
+	if len(s.Strategies) != 2 {
+		t.Fatalf("strategy reports = %+v, want 2 groups", s.Strategies)
+	}
+	for _, r := range s.Strategies {
+		if r.Nodes != 4 {
+			t.Fatalf("group %s has %d nodes, want 4", r.Strategy, r.Nodes)
+		}
+		if r.MeanZeta <= 0 || r.MeanPhi <= 0 {
+			t.Fatalf("group %s has empty plan aggregates: %+v", r.Strategy, r)
+		}
+	}
+	// 7 generated days at batch 50 crosses epoch boundaries many times;
+	// the deltas of the second group are measured against the first.
+	if s.Strategies[0].DeltaPhiPct != 0 {
+		t.Fatalf("first group must be the delta baseline, got %+v", s.Strategies[0])
+	}
+}
+
+// TestBenchFailsOnUnhealthyTarget asserts the generator reports an
+// unreachable daemon instead of hammering it.
+func TestBenchFailsOnUnhealthyTarget(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", "http://127.0.0.1:1",
+		"-duration", "100ms",
+		"-wait", "200ms",
+	}, &out)
+	if err == nil {
+		t.Fatal("unreachable daemon should error")
+	}
+}

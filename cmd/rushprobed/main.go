@@ -2,15 +2,21 @@
 // ingests batched contact observations from sensor nodes, maintains
 // per-node rush-hour profiles, and serves each node its current probing
 // schedule (bootstrap SNIP-AT until enough epochs are learned, then the
-// mechanism selected with -mechanism).
+// strategy selected with -mechanism, overridable per node via
+// POST /v1/strategy/{node}).
 //
 // Endpoints:
 //
 //	POST /v1/observe          {"observations":[{"node":"n1","time":3600,"length":2.1,"uploaded":512}, ...]}
-//	GET  /v1/schedule/{node}  current per-slot duty plan + mechanism
+//	GET  /v1/schedule/{node}  current per-slot duty plan + strategy
 //	GET  /v1/profile/{node}   learned per-node state
+//	POST /v1/strategy/{node}  {"strategy":"SNIP-RH"} sets the node's strategy ("" = fleet default)
+//	GET  /v1/strategies       registered strategy names
 //	GET  /v1/healthz          liveness + fleet counters
 //	POST /v1/snapshot         persist learned state to the -snapshot path
+//
+// Every response is JSON, including errors and unknown routes
+// ({"error": "..."}).
 //
 // With -snapshot the daemon restores learned state at startup (if the
 // file exists) and persists it on SIGINT/SIGTERM, so a restarted daemon
@@ -58,7 +64,7 @@ func run(args []string, out io.Writer) error {
 		budget     = fs.Float64("budget-fraction", 1.0/1000, "energy budget as a fraction of the epoch")
 		bootstrap  = fs.Int("bootstrap-epochs", 3, "epochs of SNIP-AT bootstrap before serving learned plans")
 		shards     = fs.Int("shards", 16, "profile store shard count")
-		mechanism  = fs.String("mechanism", string(rushprobe.SNIPOPT), "plan family served after bootstrap: SNIP-OPT or SNIP-RH")
+		mechanism  = fs.String("mechanism", string(rushprobe.SNIPOPT), "default strategy served after bootstrap: any registered name (see GET /v1/strategies)")
 		snapshot   = fs.String("snapshot", "", "snapshot file: restored at startup, written on shutdown and POST /v1/snapshot")
 		smoke      = fs.Bool("smoke", false, "run a loopback end-to-end smoke test and exit")
 		smokeTrace = fs.String("trace", "", "contact trace CSV for -smoke (e.g. from tracegen); default: generate internally")
@@ -165,9 +171,20 @@ func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	s.mux.HandleFunc("/v1/schedule/", s.handleSchedule)
 	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
+	s.mux.HandleFunc("/v1/strategy/", s.handleStrategy)
+	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	// Catch-all: unknown routes get the API's JSON error payload, not
+	// the mux's default text/plain 404 (or an empty body).
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
+}
+
+// handleNotFound answers any unrouted path with the standard JSON error
+// shape, so clients can always decode the body.
+func (s *server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -240,6 +257,55 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, scheduleResponse{Node: node, Schedule: sched})
+}
+
+// strategyRequest is the POST /v1/strategy/{node} body.
+type strategyRequest struct {
+	// Strategy is a registered strategy name or alias; empty clears the
+	// node's override (fleet default).
+	Strategy string `json:"strategy"`
+}
+
+// strategyResponse reports the strategy now in force for the node.
+type strategyResponse struct {
+	Node     string `json:"node"`
+	Strategy string `json:"strategy"`
+}
+
+func (s *server) handleStrategy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	node := nodeParam(r.URL.Path, "/v1/strategy/")
+	if node == "" {
+		writeError(w, http.StatusBadRequest, "missing node ID")
+		return
+	}
+	var req strategyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	inForce, err := s.fleet.SetStrategy(node, req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "strategy: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, strategyResponse{Node: node, Strategy: inForce})
+}
+
+// strategiesResponse is the GET /v1/strategies body.
+type strategiesResponse struct {
+	Strategies []string `json:"strategies"`
+}
+
+func (s *server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, strategiesResponse{Strategies: rushprobe.Strategies()})
 }
 
 func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {

@@ -202,6 +202,106 @@ func TestColdNodeScheduleNever500s(t *testing.T) {
 	}
 }
 
+// TestUnknownRouteReturnsJSONError is the regression test for the
+// empty-body 404: every unrouted path must answer with the API's JSON
+// error payload, not the mux's default text/plain page.
+func TestUnknownRouteReturnsJSONError(t *testing.T) {
+	srv := httptest.NewServer(newServer(newTestFleet(t), ""))
+	defer srv.Close()
+	for _, path := range []string{"/v1/nodes/n1", "/v1/schedul/n1", "/nope", "/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: HTTP %d, want 404", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s: Content-Type %q, want application/json", path, ct)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("GET %s: body %q is not the JSON error shape: %v", path, body, err)
+		}
+		if er.Error == "" {
+			t.Fatalf("GET %s: empty error message", path)
+		}
+	}
+}
+
+// TestStrategyEndpoint covers per-node strategy selection over HTTP:
+// setting an alias canonicalizes it, the served schedule switches plan
+// family, unknown strategies 400, and /v1/strategies lists the
+// registry.
+func TestStrategyEndpoint(t *testing.T) {
+	f := newTestFleet(t)
+	srv := httptest.NewServer(newServer(f, ""))
+	defer srv.Close()
+
+	// Past bootstrap so learned plans are served (default 3 epochs).
+	obs := traceObservations(t, "n1", 3, 5)
+	body, err := json.Marshal(observeRequest{Observations: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := mustPost(t, srv.URL+"/v1/observe", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: HTTP %d", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+
+	resp := mustPost(t, srv.URL+"/v1/strategy/n1", []byte(`{"strategy":"rh"}`))
+	data := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set strategy: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var sr strategyResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Node != "n1" || sr.Strategy != string(rushprobe.SNIPRH) {
+		t.Fatalf("set strategy = %+v, want n1 serving %s", sr, rushprobe.SNIPRH)
+	}
+
+	schedResp, err := http.Get(srv.URL + "/v1/schedule/n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched scheduleResponse
+	if err := json.Unmarshal(readBody(t, schedResp), &sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Mechanism != string(rushprobe.SNIPRH) {
+		t.Fatalf("schedule after override serves %s, want %s", sched.Mechanism, rushprobe.SNIPRH)
+	}
+
+	if resp := mustPost(t, srv.URL+"/v1/strategy/n1", []byte(`{"strategy":"SNIP-BOGUS"}`)); resp.StatusCode != http.StatusBadRequest {
+		readBody(t, resp)
+		t.Fatalf("unknown strategy: HTTP %d, want 400", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+	if resp := mustPost(t, srv.URL+"/v1/strategy/", []byte(`{"strategy":"rh"}`)); resp.StatusCode != http.StatusBadRequest {
+		readBody(t, resp)
+		t.Fatalf("missing node: HTTP %d, want 400", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+
+	listResp, err := http.Get(srv.URL + "/v1/strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr strategiesResponse
+	if err := json.Unmarshal(readBody(t, listResp), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Strategies) < 4 {
+		t.Fatalf("strategies list = %v, want at least the paper's four", lr.Strategies)
+	}
+}
+
 func TestObserveEndpointValidation(t *testing.T) {
 	srv := httptest.NewServer(newServer(newTestFleet(t), ""))
 	defer srv.Close()

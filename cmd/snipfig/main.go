@@ -5,12 +5,14 @@
 //	snipfig -list
 //	snipfig -fig fig5
 //	snipfig -fig fig7 -seed 7 -format csv
+//	snipfig -fig fig7 -strategies SNIP-RH,SNIP-RH+AT   # custom sweep axis
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rushprobe"
 )
@@ -30,6 +32,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "random seed for simulation-based figures")
 		list     = fs.Bool("list", false, "list available experiments")
 		parallel = fs.Int("parallel", 0, "max concurrent sweep points (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		strats   = fs.String("strategies", "", "comma-separated registered strategies replacing the sweep's strategy axis (fig7, fig8, ext-loss, ext-latency, ext-contention)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +50,13 @@ func run(args []string) error {
 	if *fig == "" {
 		return fmt.Errorf("missing -fig (or use -list); known: %v", rushprobe.ExperimentIDs())
 	}
-	tables, err := rushprobe.RunExperiment(*fig, *seed, rushprobe.WithParallelism(*parallel))
+	opts := []rushprobe.SimOption{rushprobe.WithParallelism(*parallel)}
+	if *strats != "" {
+		for _, name := range strings.Split(*strats, ",") {
+			opts = append(opts, rushprobe.WithStrategy(strings.TrimSpace(name)))
+		}
+	}
+	tables, err := rushprobe.RunExperiment(*fig, *seed, opts...)
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,11 @@
 // Command snipsim runs one simulation of the road-side scenario under a
-// chosen scheduling mechanism and prints the per-epoch averages.
+// chosen probing strategy and prints the per-epoch averages.
 //
 // Usage:
 //
 //	snipsim -mechanism rh -target 24 -budget-frac 0.001 -epochs 14
+//	snipsim -strategy SNIP-RH+AT -epochs 28    # any registered strategy
+//	snipsim -list-strategies
 package main
 
 import (
@@ -25,6 +27,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("snipsim", flag.ContinueOnError)
 	var (
 		mech       = fs.String("mechanism", "rh", "scheduling mechanism: at, opt, rh, adaptive")
+		strat      = fs.String("strategy", "", "registered strategy name or alias; overrides -mechanism (see -list-strategies)")
+		listStrats = fs.Bool("list-strategies", false, "list registered probing strategies and exit")
 		target     = fs.Float64("target", 24, "probed-capacity target zeta_target in seconds per epoch")
 		budgetFrac = fs.Float64("budget-frac", 1.0/1000, "energy budget PhiMax as a fraction of the epoch")
 		epochs     = fs.Int("epochs", 14, "number of simulated epochs (days)")
@@ -36,6 +40,16 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listStrats {
+		for _, name := range rushprobe.Strategies() {
+			desc, err := rushprobe.StrategyDescription(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %s\n", name, desc)
+		}
+		return nil
 	}
 	var mechanism rushprobe.Mechanism
 	switch *mech {
@@ -50,6 +64,10 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mechanism %q (at, opt, rh, adaptive)", *mech)
 	}
+	var stratOpts []rushprobe.SimOption
+	if *strat != "" {
+		stratOpts = append(stratOpts, rushprobe.WithStrategy(*strat))
+	}
 	sc := rushprobe.Roadside(
 		rushprobe.WithZetaTarget(*target),
 		rushprobe.WithBudgetFraction(*budgetFrac),
@@ -57,9 +75,11 @@ func run(args []string) error {
 	)
 	if *reps > 1 {
 		rep, err := rushprobe.SimulateReplications(sc, mechanism, *reps,
-			rushprobe.WithEpochs(*epochs),
-			rushprobe.WithSeed(*seed),
-			rushprobe.WithParallelism(*parallel),
+			append(stratOpts,
+				rushprobe.WithEpochs(*epochs),
+				rushprobe.WithSeed(*seed),
+				rushprobe.WithParallelism(*parallel),
+			)...,
 		)
 		if err != nil {
 			return err
@@ -77,8 +97,10 @@ func run(args []string) error {
 		return nil
 	}
 	sum, err := rushprobe.Simulate(sc, mechanism,
-		rushprobe.WithEpochs(*epochs),
-		rushprobe.WithSeed(*seed),
+		append(stratOpts,
+			rushprobe.WithEpochs(*epochs),
+			rushprobe.WithSeed(*seed),
+		)...,
 	)
 	if err != nil {
 		return err

@@ -55,9 +55,11 @@ func WithCapacityQuantum(q float64) FleetOption {
 	return func(c *fleet.Config) { c.CapacityQuantum = q }
 }
 
-// WithFleetMechanism selects the plan family served after bootstrap:
-// SNIPOPT (default) or SNIPRH. SNIPAT pins every node to the bootstrap
-// plan (a control setting).
+// WithFleetMechanism selects the default strategy served after
+// bootstrap: any registered strategy name (see Strategies) cast to
+// Mechanism, default SNIPOPT. SNIPAT pins every node to the bootstrap
+// plan (a control setting). Individual nodes override the default with
+// Fleet.SetStrategy.
 func WithFleetMechanism(m Mechanism) FleetOption {
 	return func(c *fleet.Config) { c.Mechanism = string(m) }
 }
@@ -107,6 +109,16 @@ func (f *Fleet) Schedule(node string) (*Schedule, error) { return f.inner.Schedu
 
 // Profile reports a node's learned state without creating any.
 func (f *Fleet) Profile(node string) (NodeProfile, error) { return f.inner.Profile(node) }
+
+// SetStrategy overrides the strategy serving the node's schedule: any
+// registered strategy name or alias (see Strategies), or the empty
+// string to fall back to the fleet default. It returns the canonical
+// name now in force. Setting a strategy admits an unknown node into the
+// store, so nodes can be assigned strategies before their first report;
+// the override is part of the fleet snapshot.
+func (f *Fleet) SetStrategy(node, name string) (string, error) {
+	return f.inner.SetStrategy(node, name)
+}
 
 // Stats returns fleet-wide counters.
 func (f *Fleet) Stats() FleetStats { return f.inner.Stats() }

@@ -98,8 +98,118 @@ func TestFleetMechanismOption(t *testing.T) {
 	if s.Mechanism != string(SNIPRH) {
 		t.Fatalf("mechanism = %s, want %s", s.Mechanism, SNIPRH)
 	}
-	if _, err := NewFleet(Roadside(), WithFleetMechanism(SNIPAdaptiveRH)); err == nil {
-		t.Fatal("unsupported fleet mechanism should be rejected")
+	// Any registered strategy is a valid fleet default — including the
+	// adaptive variant the pre-registry fleet rejected.
+	g, err := NewFleet(Roadside(), WithFleetMechanism(SNIPAdaptiveRH), WithBootstrapEpochs(1))
+	if err != nil {
+		t.Fatalf("registered strategy rejected as fleet default: %v", err)
+	}
+	g.Observe(fleetObservations("n", 2))
+	gs, err := g.Schedule("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Mechanism != string(SNIPAdaptiveRH) {
+		t.Fatalf("mechanism = %s, want %s", gs.Mechanism, SNIPAdaptiveRH)
+	}
+	if _, err := NewFleet(Roadside(), WithFleetMechanism(Mechanism("SNIP-BOGUS"))); err == nil {
+		t.Fatal("unregistered fleet strategy should be rejected")
+	}
+}
+
+// TestFleetSetStrategy covers per-node strategy selection: overrides
+// change the served plan family, distinct strategies get distinct
+// cached plans for the same learned fingerprint, and clearing the
+// override falls back to the fleet default.
+func TestFleetSetStrategy(t *testing.T) {
+	f, err := NewFleet(Roadside(), WithBootstrapEpochs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Observe(fleetObservations("a", 2))
+	f.Observe(fleetObservations("b", 2))
+
+	if got, err := f.SetStrategy("b", "rh"); err != nil || got != string(SNIPRH) {
+		t.Fatalf("SetStrategy(b, rh) = %q, %v; want %q", got, err, SNIPRH)
+	}
+	sa, err := f.Schedule("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := f.Schedule("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Mechanism != string(SNIPOPT) || sb.Mechanism != string(SNIPRH) {
+		t.Fatalf("mechanisms = %s/%s, want %s/%s", sa.Mechanism, sb.Mechanism, SNIPOPT, SNIPRH)
+	}
+	// Same observations -> same learned fingerprint; the plans must
+	// still be distinct cache entries (the strategy is part of the key).
+	if sa.Fingerprint != sb.Fingerprint {
+		t.Fatalf("fingerprints differ: %x vs %x", sa.Fingerprint, sb.Fingerprint)
+	}
+	if st := f.Stats(); st.CachedPlans != 2 || st.PlanSolves != 2 {
+		t.Fatalf("stats = %+v, want 2 cached plans from 2 solves", st)
+	}
+	p, err := f.Profile("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != string(SNIPRH) {
+		t.Fatalf("profile strategy = %q, want %q", p.Strategy, SNIPRH)
+	}
+	// Clearing the override falls back to the fleet default and shares
+	// node a's cached plan.
+	if got, err := f.SetStrategy("b", ""); err != nil || got != string(SNIPOPT) {
+		t.Fatalf("SetStrategy(b, \"\") = %q, %v; want %q", got, err, SNIPOPT)
+	}
+	sb2, err := f.Schedule("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb2.Mechanism != string(SNIPOPT) {
+		t.Fatalf("cleared override serves %s, want %s", sb2.Mechanism, SNIPOPT)
+	}
+	if _, err := f.SetStrategy("b", "SNIP-BOGUS"); err == nil {
+		t.Fatal("unregistered strategy should be rejected")
+	}
+	// SetStrategy admits unknown nodes (it is an explicit write).
+	if _, err := f.SetStrategy("new-node", "rh"); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := f.Profile("new-node"); err != nil || p.Strategy != string(SNIPRH) {
+		t.Fatalf("pre-assigned node profile = %+v, %v", p, err)
+	}
+}
+
+// TestFleetSnapshotKeepsStrategy asserts per-node strategy overrides
+// survive the snapshot/restore round trip.
+func TestFleetSnapshotKeepsStrategy(t *testing.T) {
+	f, err := NewFleet(Roadside(), WithBootstrapEpochs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Observe(fleetObservations("a", 2))
+	if _, err := f.SetStrategy("a", "rh"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewFleet(Roadside(), WithBootstrapEpochs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Schedule("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mechanism != string(SNIPRH) {
+		t.Fatalf("restored node serves %s, want %s", s.Mechanism, SNIPRH)
 	}
 }
 

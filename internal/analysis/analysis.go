@@ -81,9 +81,11 @@ func RH(sc *scenario.Scenario) (MechanismResult, error) {
 	return ev.RH(sc.ZetaTarget), nil
 }
 
-// rushMeanLength returns the frequency-weighted mean contact length over
-// rush-hour slots.
-func rushMeanLength(sc *scenario.Scenario) float64 {
+// RushMeanLength returns the frequency-weighted mean contact length
+// over rush-hour slots (0 when no rush slot has contacts). It is the
+// length SNIP-RH's knee duty is derived from, shared by the analytical
+// evaluator and the strategy layer's plans.
+func RushMeanLength(sc *scenario.Scenario) float64 {
 	num, den := 0.0, 0.0
 	for _, s := range sc.Slots {
 		if !s.RushHour {
@@ -239,7 +241,7 @@ func RHDuty(sc *scenario.Scenario) (float64, error) {
 	if err := sc.Validate(); err != nil {
 		return 0, err
 	}
-	meanLen := rushMeanLength(sc)
+	meanLen := RushMeanLength(sc)
 	if meanLen <= 0 {
 		return 0, fmt.Errorf("analysis: scenario has no rush-hour contacts")
 	}

@@ -56,7 +56,7 @@ func NewEvaluator(base *scenario.Scenario) (*Evaluator, error) {
 		procs:        base.SlotProcesses(),
 		total:        base.TotalCapacity(),
 		meanLen:      base.MeanContactLength(),
-		rushMeanLen:  rushMeanLength(base),
+		rushMeanLen:  RushMeanLength(base),
 		epochSeconds: base.Epoch.Seconds(),
 		atZeta:       make(map[float64]float64),
 	}

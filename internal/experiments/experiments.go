@@ -20,6 +20,7 @@ import (
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/sim"
 	"rushprobe/internal/simtime"
+	"rushprobe/internal/strategy"
 )
 
 // Table is an experiment's output: named columns and rows of values,
@@ -110,6 +111,39 @@ type Params struct {
 	// their randomness from (Seed, point) alone and land in their own
 	// row/column slot.
 	Parallelism int
+	// Strategies overrides the strategy axis of the simulation sweeps
+	// (fig7, fig8, ext-loss, ext-latency: any registered strategy name
+	// or alias per column; ext-contention: exactly one strategy for the
+	// whole grid). Empty selects the paper's default set. Experiments
+	// without a strategy axis reject a non-empty selection.
+	Strategies []string
+}
+
+// sweepStrategies resolves a sweep's strategy axis to canonical names,
+// defaulting to the paper's three mechanisms in presentation order.
+func sweepStrategies(p Params) ([]string, error) {
+	if len(p.Strategies) == 0 {
+		return []string{strategy.NameAT, strategy.NameOPT, strategy.NameRH}, nil
+	}
+	out := make([]string, len(p.Strategies))
+	for i, n := range p.Strategies {
+		s, err := strategy.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s.Name()
+	}
+	return out, nil
+}
+
+// noStrategyAxis rejects a strategy selection for experiments that have
+// no strategy dimension, so the request fails loudly instead of being
+// silently ignored.
+func noStrategyAxis(id string, p Params) error {
+	if len(p.Strategies) > 0 {
+		return fmt.Errorf("experiments: %s has no strategy axis (strategy selection applies to fig7, fig8, ext-loss, ext-latency, ext-contention)", id)
+	}
+	return nil
 }
 
 // Experiment regenerates one figure.
@@ -203,7 +237,10 @@ func IDs() []string {
 // SimEpochs is the simulated duration of the paper's runs: two weeks.
 const SimEpochs = 14
 
-func runFig3(Params) ([]*Table, error) {
+func runFig3(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("fig3", p); err != nil {
+		return nil, err
+	}
 	profile := contact.DefaultCommute()
 	shares, err := contact.HourlyShares(profile, 24)
 	if err != nil {
@@ -222,7 +259,10 @@ func runFig3(Params) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runFig4(Params) ([]*Table, error) {
+func runFig4(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("fig4", p); err != nil {
+		return nil, err
+	}
 	fractions := analysis.Linspace(0.05, 0.5, 10)
 	ratios := analysis.Linspace(2, 20, 10)
 	pts, err := analysis.MotivationSurface(fractions, ratios)
@@ -242,6 +282,9 @@ func runFig4(Params) ([]*Table, error) {
 // runAnalysisFigure produces the three sub-plots (zeta, Phi, rho) of
 // Figure 5 or 6 from the closed-form analysis.
 func runAnalysisFigure(id string, budgetFrac float64, p Params) ([]*Table, error) {
+	if err := noStrategyAxis(id, p); err != nil {
+		return nil, err
+	}
 	base := scenario.Roadside(scenario.WithFixedLengths(), scenario.WithBudgetFraction(budgetFrac))
 	sweeps, err := analysis.SweepTargetsParallel(base, analysis.PaperTargets(), p.Parallelism)
 	if err != nil {
@@ -251,13 +294,14 @@ func runAnalysisFigure(id string, budgetFrac float64, p Params) ([]*Table, error
 }
 
 // schedulerFactory builds the scheduler factory for one simulation
-// sweep point. SNIP-OPT plans are solved through the sweep's shared
-// evaluator so the optimizer's slot curves are tabulated once per
-// figure instead of once per target; AT and RH parameterization is
-// cheap and goes through the standard path.
-func schedulerFactory(ev *analysis.Evaluator, sc *scenario.Scenario, m sim.Mechanism) (func() (core.Scheduler, error), error) {
-	if m != sim.MechanismOPT {
-		return sim.SchedulerFactory(sc, m)
+// sweep point, resolved through the strategy registry. SNIP-OPT plans
+// are solved through the sweep's shared evaluator so the optimizer's
+// slot curves are tabulated once per figure instead of once per target;
+// every other strategy's parameterization is cheap and goes through the
+// standard path.
+func schedulerFactory(ev *analysis.Evaluator, sc *scenario.Scenario, strat string) (func() (core.Scheduler, error), error) {
+	if strat != strategy.NameOPT {
+		return sim.StrategyFactory(sc, strat)
 	}
 	plan, err := ev.OPTPlan(sc.ZetaTarget)
 	if err != nil {
@@ -270,25 +314,29 @@ func schedulerFactory(ev *analysis.Evaluator, sc *scenario.Scenario, m sim.Mecha
 
 // runSimulationFigure produces the three sub-plots of Figure 7 or 8 by
 // full simulation (normal-distributed intervals and lengths, two weeks,
-// per-day averages), mirroring §VII.A.2. The target x mechanism grid
+// per-day averages), mirroring §VII.A.2. The target x strategy grid
 // fans out across the worker pool; every grid point derives its
 // randomness from the seed alone and writes its own sweep slot, so the
-// tables are bit-identical for any parallelism.
+// tables are bit-identical for any parallelism. The strategy axis
+// defaults to the paper's three mechanisms and honors p.Strategies.
 func runSimulationFigure(id string, budgetFrac float64, p Params) ([]*Table, error) {
 	targets := analysis.PaperTargets()
-	mechanisms := []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH}
+	strategies, err := sweepStrategies(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
 	base := scenario.Roadside(scenario.WithBudgetFraction(budgetFrac))
 	ev, err := analysis.NewEvaluator(base)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
-	sweeps := make([]analysis.Sweep, len(mechanisms))
-	for i, m := range mechanisms {
-		sweeps[i].Mechanism = m.String()
+	sweeps := make([]analysis.Sweep, len(strategies))
+	for i, s := range strategies {
+		sweeps[i].Mechanism = s
 		sweeps[i].Points = make([]analysis.MechanismResult, len(targets))
 	}
-	err = pool.ForEachGrid(len(targets), len(mechanisms), p.Parallelism, func(ti, mi int) error {
-		target, m := targets[ti], mechanisms[mi]
+	err = pool.ForEachGrid(len(targets), len(strategies), p.Parallelism, func(ti, mi int) error {
+		target, m := targets[ti], strategies[mi]
 		sc := ev.Scenario(target)
 		factory, err := schedulerFactory(ev, sc, m)
 		if err != nil {
@@ -364,6 +412,9 @@ func sweepTables(id, kind string, sweeps []analysis.Sweep) []*Table {
 // true rush hours: a learner fed by probed contacts from SNIP-AT at a
 // very small duty cycle, scored against the engineered mask per epoch.
 func runExtLearn(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-learn", p); err != nil {
+		return nil, err
+	}
 	sc := scenario.Roadside(scenario.WithZetaTarget(24))
 	reference := sc.RushMask()
 	const (
@@ -407,6 +458,9 @@ func runExtLearn(p Params) ([]*Table, error) {
 // rush hours move by three slots halfway through, reporting per-epoch
 // probed capacity for the static and adaptive variants.
 func runExtShift(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-shift", p); err != nil {
+		return nil, err
+	}
 	sc := scenario.Roadside(scenario.WithZetaTarget(16))
 	const epochs = 24
 	shiftAt := simtime.Instant(12 * sc.Epoch)
@@ -457,7 +511,10 @@ func runExtShift(p Params) ([]*Table, error) {
 // runExtDrh sweeps the RH duty cycle around the knee and reports rho,
 // validating §VI.C's claim that rho is flat below the knee and grows
 // slowly just above it.
-func runExtDrh(Params) ([]*Table, error) {
+func runExtDrh(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-drh", p); err != nil {
+		return nil, err
+	}
 	sc := scenario.Roadside(scenario.WithFixedLengths())
 	cfg := sc.Radio
 	const (
@@ -479,7 +536,10 @@ func runExtDrh(Params) ([]*Table, error) {
 
 // runExtExponential compares expected Upsilon for fixed versus
 // exponential contact lengths across duty cycles (footnote 1).
-func runExtExponential(Params) ([]*Table, error) {
+func runExtExponential(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-exp", p); err != nil {
+		return nil, err
+	}
 	sc := scenario.Roadside(scenario.WithFixedLengths())
 	cfg := sc.Radio
 	t := &Table{
@@ -500,10 +560,11 @@ func runExtExponential(Params) ([]*Table, error) {
 // simGrid fills t.Rows for a rows x cols grid of independent
 // simulation runs fanned out through the worker pool: row r gets
 // rowVals[r] in column 0 and metric(point(r, c)'s result) in column
-// 1+c. Every cell derives its randomness from p.Seed alone and writes
-// its own slot, so the table is bit-identical for any parallelism.
+// 1+c, where point names the strategy each cell simulates. Every cell
+// derives its randomness from p.Seed alone and writes its own slot, so
+// the table is bit-identical for any parallelism.
 func simGrid(t *Table, rowVals []float64, cols, epochs int, p Params,
-	point func(r, c int) (*scenario.Scenario, sim.Mechanism),
+	point func(r, c int) (*scenario.Scenario, string),
 	metric func(*sim.Result) float64) error {
 	t.Rows = make([][]float64, len(rowVals))
 	for i, v := range rowVals {
@@ -512,7 +573,7 @@ func simGrid(t *Table, rowVals []float64, cols, epochs int, p Params,
 	}
 	return pool.ForEachGrid(len(rowVals), cols, p.Parallelism, func(r, c int) error {
 		sc, m := point(r, c)
-		factory, err := sim.SchedulerFactory(sc, m)
+		factory, err := sim.StrategyFactory(sc, m)
 		if err != nil {
 			return err
 		}
@@ -531,27 +592,41 @@ func simGrid(t *Table, rowVals []float64, cols, epochs int, p Params,
 }
 
 // runExtLoss sweeps the beacon loss probability and reports each
-// mechanism's probed capacity.
+// strategy's probed capacity (default: the paper's three mechanisms).
 func runExtLoss(p Params) ([]*Table, error) {
+	strategies, err := sweepStrategies(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ext-loss: %w", err)
+	}
 	t := &Table{
 		Title:   "ext-loss: probed capacity per epoch vs beacon loss probability (target 24s, PhiMax=Tepoch/100)",
-		Columns: []string{"loss_prob", "SNIP-AT_zeta_s", "SNIP-OPT_zeta_s", "SNIP-RH_zeta_s"},
+		Columns: strategyColumns("loss_prob", strategies, "_zeta_s"),
 	}
 	losses := []float64{0, 0.1, 0.25, 0.5}
-	mechanisms := []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH}
-	err := simGrid(t, losses, len(mechanisms), 7, p,
-		func(li, mi int) (*scenario.Scenario, sim.Mechanism) {
+	err = simGrid(t, losses, len(strategies), 7, p,
+		func(li, mi int) (*scenario.Scenario, string) {
 			return scenario.Roadside(
 				scenario.WithZetaTarget(24),
 				scenario.WithBudgetFraction(1.0/100),
 				scenario.WithBeaconLoss(losses[li]),
-			), mechanisms[mi]
+			), strategies[mi]
 		},
 		func(res *sim.Result) float64 { return res.Summary.MeanZeta })
 	if err != nil {
 		return nil, err
 	}
 	return []*Table{t}, nil
+}
+
+// strategyColumns builds a table header: the row-value column followed
+// by one column per strategy with the metric suffix.
+func strategyColumns(first string, strategies []string, suffix string) []string {
+	cols := make([]string, 0, 1+len(strategies))
+	cols = append(cols, first)
+	for _, s := range strategies {
+		cols = append(cols, s+suffix)
+	}
+	return cols
 }
 
 // expUpsilon evaluates the expected Upsilon for exponential contact

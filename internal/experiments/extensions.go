@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"rushprobe/internal/analysis"
@@ -13,6 +14,7 @@ import (
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/sim"
 	"rushprobe/internal/simtime"
+	"rushprobe/internal/strategy"
 	"rushprobe/internal/trace"
 )
 
@@ -61,8 +63,20 @@ func extendedExperiments() []*Experiment {
 // (randomly or by remaining dwell) recovers the capacity — and the
 // resolve policy slightly beats random by preferring the longer dwell.
 func runExtContention(p Params) ([]*Table, error) {
+	probed := strategy.NameRH
+	switch len(p.Strategies) {
+	case 0:
+	case 1:
+		s, err := strategy.Lookup(p.Strategies[0])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ext-contention: %w", err)
+		}
+		probed = s.Name()
+	default:
+		return nil, fmt.Errorf("experiments: ext-contention sweeps contention policies for one strategy; got %d strategies", len(p.Strategies))
+	}
 	t := &Table{
-		Title:   "ext-contention: SNIP-RH probed capacity with group arrivals (target 32s, budget Tepoch/100)",
+		Title:   "ext-contention: " + probed + " probed capacity with group arrivals (target 32s, budget Tepoch/100)",
 		Columns: []string{"group_prob", "resolve_zeta_s", "random_zeta_s", "collide_zeta_s"},
 		Notes: []string{
 			"§II: the one-mobile-node assumption 'can be easily removed' by contention resolution;",
@@ -76,12 +90,12 @@ func runExtContention(p Params) ([]*Table, error) {
 	}
 	probs := []float64{0, 0.25, 0.5}
 	err := simGrid(t, probs, len(policies), 7, p,
-		func(gi, pi int) (*scenario.Scenario, sim.Mechanism) {
+		func(gi, pi int) (*scenario.Scenario, string) {
 			return scenario.Roadside(
 				scenario.WithZetaTarget(32),
 				scenario.WithBudgetFraction(1.0/100),
 				scenario.WithGroupArrivals(probs[gi], policies[pi]),
-			), sim.MechanismRH
+			), probed
 		},
 		func(res *sim.Result) float64 { return res.Summary.MeanZeta })
 	if err != nil {
@@ -92,7 +106,10 @@ func runExtContention(p Params) ([]*Table, error) {
 
 // runExtMIP tabulates the §III claim: sensor node-initiated probing
 // beats mobile node-initiated probing by 2-10x at duty cycles below 1%.
-func runExtMIP(Params) ([]*Table, error) {
+func runExtMIP(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-mip", p); err != nil {
+		return nil, err
+	}
 	mip := model.DefaultMIP()
 	t := &Table{
 		Title:   "ext-mip: probed fraction Upsilon and SNIP/MIP gain vs duty cycle (2s contacts)",
@@ -116,22 +133,25 @@ func runExtMIP(Params) ([]*Table, error) {
 // delay-tolerant; this quantifies what RH's energy savings cost in
 // freshness.
 func runExtLatency(p Params) ([]*Table, error) {
+	strategies, err := sweepStrategies(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ext-latency: %w", err)
+	}
 	t := &Table{
 		Title:   "ext-latency: mean data delivery latency (sensing -> upload) per mechanism, target 24s",
-		Columns: []string{"budget_frac_inv", "SNIP-AT_latency_s", "SNIP-OPT_latency_s", "SNIP-RH_latency_s"},
+		Columns: strategyColumns("budget_frac_inv", strategies, "_latency_s"),
 		Notes: []string{
 			"counterintuitive: RH's latency beats AT's — AT sized 'just enough' serves at utilization ~1",
 			"(critically loaded queue, backlog balloons), while RH's rush-hour slack drains the buffer twice a day",
 		},
 	}
 	invs := []float64{1000, 100}
-	mechanisms := []sim.Mechanism{sim.MechanismAT, sim.MechanismOPT, sim.MechanismRH}
-	err := simGrid(t, invs, len(mechanisms), SimEpochs, p,
-		func(bi, mi int) (*scenario.Scenario, sim.Mechanism) {
+	err = simGrid(t, invs, len(strategies), SimEpochs, p,
+		func(bi, mi int) (*scenario.Scenario, string) {
 			return scenario.Roadside(
 				scenario.WithZetaTarget(24),
 				scenario.WithBudgetFraction(1/invs[bi]),
-			), mechanisms[mi]
+			), strategies[mi]
 		},
 		func(res *sim.Result) float64 { return res.Summary.MeanLatency })
 	if err != nil {
@@ -144,6 +164,9 @@ func runExtLatency(p Params) ([]*Table, error) {
 // the road-side scenario, echoing the paper's argument that RL learns
 // too slowly from the sparse feedback a low duty cycle yields (§VIII).
 func runExtRL(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-rl", p); err != nil {
+		return nil, err
+	}
 	sc := scenario.Roadside(
 		scenario.WithZetaTarget(24),
 		scenario.WithBudgetFraction(1.0/100),
@@ -192,7 +215,10 @@ func runExtRL(p Params) ([]*Table, error) {
 
 // runExtLifetime projects node lifetime on two AA cells from each
 // mechanism's analytical steady-state energy at target 24 s.
-func runExtLifetime(Params) ([]*Table, error) {
+func runExtLifetime(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-lifetime", p); err != nil {
+		return nil, err
+	}
 	sc := scenario.Roadside(
 		scenario.WithFixedLengths(),
 		scenario.WithZetaTarget(24),
@@ -241,6 +267,9 @@ func runExtLifetime(Params) ([]*Table, error) {
 // against the abstract road-side scenario, validating the Fig. 2
 // abstraction this repo's scenarios rely on.
 func runExtMobility(p Params) ([]*Table, error) {
+	if err := noStrategyAxis("ext-mobility", p); err != nil {
+		return nil, err
+	}
 	road := mobility.Road{Range: 5, ClosestApproach: 0}
 	pattern := mobility.CommuterPattern(300, 1800, 5)
 	gen, err := mobility.NewGenerator(road, pattern, rng.Derive(p.Seed, "mobility"))

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+// goldenSeed pins the randomness of every simulation-based experiment.
+const goldenSeed = 1
+
+// slowGoldenIDs are the experiments whose full simulation grids dominate
+// the suite's runtime; -short skips re-running them (CI always runs the
+// full set).
+var slowGoldenIDs = map[string]bool{
+	"fig7":           true,
+	"fig8":           true,
+	"ext-latency":    true,
+	"ext-contention": true,
+	"ext-loss":       true,
+	"ext-rl":         true,
+	"ext-shift":      true,
+}
+
+// TestGoldenTables regenerates every registered experiment and compares
+// its CSV rendering byte-for-byte against the tables captured before the
+// strategy refactor (testdata/golden/, written with -update). This is
+// the contract that re-homing the schedulers behind the strategy
+// registry changed no figure: same seed in, same bytes out.
+func TestGoldenTables(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && slowGoldenIDs[id] && !*updateGolden {
+				t.Skipf("skipping slow golden %s in -short mode", id)
+			}
+			e := Registry()[id]
+			tabs, err := e.Run(Params{Seed: goldenSeed})
+			if err != nil {
+				t.Fatalf("run %s: %v", id, err)
+			}
+			var b strings.Builder
+			for _, tab := range tabs {
+				b.WriteString("# ")
+				b.WriteString(tab.Title)
+				b.WriteByte('\n')
+				b.WriteString(tab.CSV())
+			}
+			got := b.String()
+			path := filepath.Join("testdata", "golden", id+".csv")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden for %s (run with -update): %v", id, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s tables differ from pre-refactor golden %s;\ndiff the file against this output to locate the drift:\n%s",
+					id, path, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+// firstDiff returns the first differing line pair for a readable error.
+func firstDiff(got, want string) string {
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("line %d:\n  got  %s\n  want %s", i+1, gl[i], wl[i])
+		}
+	}
+	return "tables differ in length"
+}

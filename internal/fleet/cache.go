@@ -5,16 +5,25 @@ import (
 	"sync/atomic"
 )
 
-// planCache maps scenario fingerprints to solved schedules. Each entry
-// solves at most once (sync.Once singleflight), so N nodes whose
-// learned profiles quantize to the same scenario cost one optimizer
-// solve between them. Entries are never evicted: a fingerprint is a
-// pure function of quantized learned state, so the population of
-// distinct fingerprints is bounded by the quantization grid, not by the
-// node count.
+// planKey identifies one cached plan: the quantized learned scenario's
+// fingerprint plus the canonical name of the strategy solving it. Two
+// nodes share a plan only when both their learned profiles and their
+// strategies in force agree.
+type planKey struct {
+	fp       uint64
+	strategy string
+}
+
+// planCache maps plan keys to solved schedules. Each entry solves at
+// most once (sync.Once singleflight), so N nodes whose learned profiles
+// quantize to the same scenario and run the same strategy cost one
+// optimizer solve between them. Entries are never evicted: a key is a
+// pure function of quantized learned state and the (small, fixed) set
+// of registered strategies, so the population of distinct keys is
+// bounded by the quantization grid, not by the node count.
 type planCache struct {
 	mu      sync.Mutex
-	entries map[uint64]*cacheEntry
+	entries map[planKey]*cacheEntry
 	solves  atomic.Int64
 	hits    atomic.Int64
 }
@@ -25,15 +34,15 @@ type cacheEntry struct {
 	err   error
 }
 
-// get returns the cached schedule for fp, solving it exactly once on
-// first demand. Errors are cached too — a failed solve is deterministic
-// in its inputs, so retrying cannot help.
-func (c *planCache) get(fp uint64, solve func() (*Schedule, error)) (*Schedule, error) {
+// get returns the cached schedule for the key, solving it exactly once
+// on first demand. Errors are cached too — a failed solve is
+// deterministic in its inputs, so retrying cannot help.
+func (c *planCache) get(key planKey, solve func() (*Schedule, error)) (*Schedule, error) {
 	c.mu.Lock()
-	e := c.entries[fp]
+	e := c.entries[key]
 	if e == nil {
 		e = &cacheEntry{}
-		c.entries[fp] = e
+		c.entries[key] = e
 	} else {
 		c.hits.Add(1)
 	}

@@ -26,18 +26,21 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"rushprobe/internal/analysis"
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/simtime"
+	"rushprobe/internal/strategy"
 )
 
-// Mechanisms the fleet can serve once a profile has finished its
-// bootstrap. During bootstrap every node runs SNIP-AT at the analysis
-// layer's budget-capped duty (the paper's low-duty learning phase).
+// Canonical names of the strategies the fleet most commonly serves
+// (any registered strategy name works wherever these are accepted).
+// During bootstrap every node runs SNIP-AT at the budget-capped duty
+// (the paper's low-duty learning phase); a fleet whose default strategy
+// is MechanismAT pins every node to that bootstrap plan forever, which
+// makes it the control setting.
 const (
-	MechanismAT  = "SNIP-AT"
-	MechanismOPT = "SNIP-OPT"
-	MechanismRH  = "SNIP-RH"
+	MechanismAT  = strategy.NameAT
+	MechanismOPT = strategy.NameOPT
+	MechanismRH  = strategy.NameRH
 )
 
 // Observation is one probed (or ground-truth) contact reported by a
@@ -107,9 +110,10 @@ type Config struct {
 	// before its learned plan replaces the bootstrap SNIP-AT plan.
 	// Default 3.
 	BootstrapEpochs int
-	// Mechanism selects the plan family served after bootstrap:
-	// MechanismOPT (default) or MechanismRH. MechanismAT pins every node
-	// to the bootstrap plan forever (a control setting).
+	// Mechanism selects the default strategy served after bootstrap:
+	// any registered strategy name or alias (package strategy), default
+	// MechanismOPT. MechanismAT pins nodes to the bootstrap plan forever
+	// (a control setting). Individual nodes override it via SetStrategy.
 	Mechanism string
 	// CapacityQuantum quantizes learned per-slot capacities (seconds per
 	// epoch) before fingerprinting, so near-identical profiles share one
@@ -160,12 +164,14 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BootstrapEpochs < 0 {
 		return c, fmt.Errorf("fleet: bootstrap epochs must be non-negative, got %d", c.BootstrapEpochs)
 	}
-	switch c.Mechanism {
-	case "":
+	if c.Mechanism == "" {
 		c.Mechanism = MechanismOPT
-	case MechanismAT, MechanismOPT, MechanismRH:
-	default:
-		return c, fmt.Errorf("fleet: unknown mechanism %q", c.Mechanism)
+	} else {
+		s, err := strategy.Lookup(c.Mechanism)
+		if err != nil {
+			return c, fmt.Errorf("fleet: %w", err)
+		}
+		c.Mechanism = s.Name()
 	}
 	if c.CapacityQuantum == 0 {
 		c.CapacityQuantum = 1
@@ -279,7 +285,7 @@ func New(cfg Config) (*Fleet, error) {
 	for i := range f.shards {
 		f.shards[i].nodes = make(map[string]*profile)
 	}
-	f.cache.entries = make(map[uint64]*cacheEntry)
+	f.cache.entries = make(map[planKey]*cacheEntry)
 	if f.bootstrap, err = f.bootstrapSchedule(); err != nil {
 		return nil, err
 	}
@@ -287,28 +293,11 @@ func New(cfg Config) (*Fleet, error) {
 }
 
 // bootstrapSchedule is the SNIP-AT plan served before a node has
-// learned anything: the analysis layer's fixed duty for the base
+// learned anything: the periodic strategy's fixed duty for the base
 // scenario's target, capped by the energy budget — exactly the "very
 // small duty cycle" bootstrap of §VII.B.
 func (f *Fleet) bootstrapSchedule() (*Schedule, error) {
-	ev, err := analysis.NewEvaluator(f.cfg.Base)
-	if err != nil {
-		return nil, err
-	}
-	at := ev.AT(f.cfg.Base.ZetaTarget)
-	duty := make([]float64, len(f.cfg.Base.Slots))
-	d := ev.ATDuty(f.cfg.Base.ZetaTarget)
-	for i := range duty {
-		duty[i] = d
-	}
-	return &Schedule{
-		Mechanism:   MechanismAT,
-		Duty:        duty,
-		Zeta:        at.Zeta,
-		Phi:         at.Phi,
-		TargetMet:   at.TargetMet,
-		Fingerprint: f.baseFP,
-	}, nil
+	return f.solve(MechanismAT, f.cfg.Base, f.baseFP)
 }
 
 // shardIndex maps a node ID to its shard with an inline FNV-1a hash
@@ -395,10 +384,10 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 // Schedule returns the probing plan currently in force for the node. A
 // node that has never reported (or is still inside its bootstrap
 // window) receives the shared bootstrap SNIP-AT plan, so a cold node is
-// always servable. Serving never creates state: only Observe admits
-// nodes into the store, so unauthenticated schedule reads for made-up
-// IDs cannot grow memory. The returned Schedule is shared and must not
-// be modified.
+// always servable. Serving never creates state: only the explicit
+// write operations — Observe and SetStrategy — admit nodes into the
+// store, so schedule and profile reads for made-up IDs cannot grow
+// memory. The returned Schedule is shared and must not be modified.
 func (f *Fleet) Schedule(node string) (*Schedule, error) {
 	if node == "" {
 		return nil, errors.New("fleet: empty node ID")
@@ -417,23 +406,57 @@ func (f *Fleet) Schedule(node string) (*Schedule, error) {
 	if p.sched != nil {
 		return p.sched, nil
 	}
-	if f.cfg.Mechanism == MechanismAT || p.learner.Epochs() < f.cfg.BootstrapEpochs {
+	strat := f.strategyInForce(p)
+	if strat == MechanismAT || p.learner.Epochs() < f.cfg.BootstrapEpochs {
 		p.sched = f.bootstrap
 		return p.sched, nil
 	}
-	sc, meanLen := f.learnedScenario(p)
+	sc := f.learnedScenario(p)
 	fp, err := sc.Fingerprint()
 	if err != nil {
 		return nil, err
 	}
-	sched, err := f.cache.get(fp, func() (*Schedule, error) {
-		return f.solve(sc, meanLen, fp)
+	sched, err := f.cache.get(planKey{fp: fp, strategy: strat}, func() (*Schedule, error) {
+		return f.solve(strat, sc, fp)
 	})
 	if err != nil {
 		return nil, err
 	}
 	p.sched = sched
 	return sched, nil
+}
+
+// SetStrategy sets the strategy serving the node's schedule from the
+// next request on: any registered strategy name or alias, or the empty
+// string to clear the override and fall back to the fleet default. It
+// returns the canonical name now in force. Unlike reads, setting a
+// strategy admits an unknown node into the store (it is an explicit
+// write), so a node can be assigned a strategy before its first report.
+func (f *Fleet) SetStrategy(node, name string) (string, error) {
+	if node == "" {
+		return "", errors.New("fleet: empty node ID")
+	}
+	canonical := ""
+	if name != "" {
+		s, err := strategy.Lookup(name)
+		if err != nil {
+			return "", fmt.Errorf("fleet: %w", err)
+		}
+		canonical = s.Name()
+	}
+	sh := f.shardOf(node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.nodes[node]
+	if p == nil {
+		p = f.newProfile(node)
+		sh.nodes[node] = p
+	}
+	if p.strategy != canonical {
+		p.strategy = canonical
+		p.sched = nil
+	}
+	return f.strategyInForce(p), nil
 }
 
 // Profile reports a node's learned state. An unknown node returns a
@@ -450,6 +473,7 @@ func (f *Fleet) Profile(node string) (NodeProfile, error) {
 	if p == nil {
 		return NodeProfile{
 			Node:          node,
+			Strategy:      f.cfg.Mechanism,
 			Bootstrapping: true,
 			RushMask:      make([]bool, len(f.cfg.Base.Slots)),
 			SlotCapacity:  make([]float64, len(f.cfg.Base.Slots)),
@@ -457,6 +481,7 @@ func (f *Fleet) Profile(node string) (NodeProfile, error) {
 	}
 	return NodeProfile{
 		Node:              node,
+		Strategy:          f.strategyInForce(p),
 		Epochs:            p.learner.Epochs(),
 		Observations:      p.observed,
 		Stale:             p.stale,
@@ -471,6 +496,9 @@ func (f *Fleet) Profile(node string) (NodeProfile, error) {
 // NodeProfile is the externally visible learned state of one node.
 type NodeProfile struct {
 	Node string `json:"node"`
+	// Strategy is the canonical name of the strategy in force for the
+	// node (its override when set, the fleet default otherwise).
+	Strategy string `json:"strategy"`
 	// Epochs is how many epochs the node's learner has completed.
 	Epochs int `json:"epochs"`
 	// Observations and Stale count accepted and discarded reports.

@@ -5,9 +5,8 @@ import (
 
 	"rushprobe/internal/dist"
 	"rushprobe/internal/learn"
-	"rushprobe/internal/model"
-	"rushprobe/internal/opt"
 	"rushprobe/internal/scenario"
+	"rushprobe/internal/strategy"
 )
 
 // profile is the per-node learned state: the §VI.B/§VI.C estimators and
@@ -19,13 +18,17 @@ type profile struct {
 	upload  *learn.UploadAmount
 	learner *learn.RushHourLearner
 
+	// strategy is the node's canonical strategy override; empty means
+	// the fleet's default strategy serves this node.
+	strategy string
+
 	// epoch is the node's current (not yet folded) epoch index.
 	epoch    int
 	observed int64
 	stale    int64
 
 	// sched caches the schedule served for the current learned state;
-	// nil after any state change.
+	// nil after any state or strategy change.
 	sched *Schedule
 }
 
@@ -48,6 +51,16 @@ func (f *Fleet) newProfile(node string) *profile {
 	}
 }
 
+// strategyInForce resolves the strategy serving this profile: its
+// override when set, the fleet default otherwise. Callers hold the
+// shard lock.
+func (f *Fleet) strategyInForce(p *profile) string {
+	if p != nil && p.strategy != "" {
+		return p.strategy
+	}
+	return f.cfg.Mechanism
+}
+
 // quantize rounds v to the nearest multiple of q (q > 0).
 func quantize(v, q float64) float64 {
 	return math.Round(v/q) * q
@@ -59,9 +72,8 @@ func quantize(v, q float64) float64 {
 // learner's mask, and budget/target/radio inherited from the base
 // deployment. Quantization is what lets distinct nodes with
 // near-identical learned profiles share a fingerprint — and therefore
-// one cached plan. The learned mean length (unquantized would leak
-// per-node noise into the fingerprint) is returned for plan math.
-func (f *Fleet) learnedScenario(p *profile) (*scenario.Scenario, float64) {
+// one cached plan.
+func (f *Fleet) learnedScenario(p *profile) *scenario.Scenario {
 	caps := p.learner.Capacity()
 	mask := p.learner.Mask()
 	meanLen := quantize(p.length.Mean(), f.cfg.LengthQuantum)
@@ -92,78 +104,28 @@ func (f *Fleet) learnedScenario(p *profile) (*scenario.Scenario, float64) {
 		PhiMax:     f.cfg.Base.PhiMax,
 		ZetaTarget: f.cfg.Base.ZetaTarget,
 		UploadRate: f.cfg.Base.UploadRate,
-	}, meanLen
+	}
 }
 
-// solve computes the schedule for one learned scenario. It runs at most
-// once per fingerprint (the plan cache's singleflight) and is the only
-// place optimizer solves happen.
-func (f *Fleet) solve(sc *scenario.Scenario, meanLen float64, fp uint64) (*Schedule, error) {
-	if f.cfg.Mechanism == MechanismRH {
-		return solveRH(sc, meanLen, fp), nil
+// solve computes the schedule one strategy serves for one learned
+// scenario, through the strategy registry. It runs at most once per
+// (fingerprint, strategy) pair (the plan cache's singleflight) and is
+// the only place plan solves happen.
+func (f *Fleet) solve(strategyName string, sc *scenario.Scenario, fp uint64) (*Schedule, error) {
+	strat, err := strategy.Lookup(strategyName)
+	if err != nil {
+		return nil, err
 	}
-	plan, err := opt.Solve(opt.Problem{
-		Model:      sc.Radio,
-		Slots:      sc.SlotProcesses(),
-		PhiMax:     sc.PhiMax,
-		ZetaTarget: sc.ZetaTarget,
-	})
+	plan, err := strat.Plan(sc)
 	if err != nil {
 		return nil, err
 	}
 	return &Schedule{
-		Mechanism:   MechanismOPT,
+		Mechanism:   plan.Strategy,
 		Duty:        plan.Duty,
 		Zeta:        plan.Zeta,
 		Phi:         plan.Phi,
 		TargetMet:   plan.TargetMet,
 		Fingerprint: fp,
 	}, nil
-}
-
-// solveRH derives the SNIP-RH plan for a learned scenario: probe the
-// learned rush-hour slots at the knee duty of the learned mean contact
-// length (§VI.C), scaled down uniformly if that would exceed the energy
-// budget.
-func solveRH(sc *scenario.Scenario, meanLen float64, fp uint64) *Schedule {
-	procs := sc.SlotProcesses()
-	drh := sc.Radio.Knee(meanLen)
-	phi := 0.0
-	for i, s := range sc.Slots {
-		if s.RushHour {
-			phi += procs[i].Duration * drh
-		}
-	}
-	if sc.PhiMax > 0 && phi > sc.PhiMax {
-		drh *= sc.PhiMax / phi
-		phi = sc.PhiMax
-	}
-	duty := make([]float64, len(sc.Slots))
-	zeta := 0.0
-	for i, s := range sc.Slots {
-		if !s.RushHour {
-			continue
-		}
-		duty[i] = drh
-		zeta += probedCapacity(procs[i], sc.Radio, drh)
-	}
-	if phi == 0 {
-		zeta = 0
-	}
-	return &Schedule{
-		Mechanism:   MechanismRH,
-		Duty:        duty,
-		Zeta:        zeta,
-		Phi:         phi,
-		TargetMet:   zeta >= sc.ZetaTarget-1e-9,
-		Fingerprint: fp,
-	}
-}
-
-// probedCapacity is SlotProcess.ProbedCapacity guarded for empty slots.
-func probedCapacity(p model.SlotProcess, cfg model.Config, d float64) float64 {
-	if p.Freq <= 0 || p.Length == nil {
-		return 0
-	}
-	return p.ProbedCapacity(cfg, d)
 }

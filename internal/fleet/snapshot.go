@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"rushprobe/internal/learn"
+	"rushprobe/internal/strategy"
 )
 
 // snapshotVersion is bumped on incompatible snapshot layout changes.
@@ -26,7 +27,11 @@ type Snapshot struct {
 
 // NodeState is one node's serialized profile.
 type NodeState struct {
-	ID       string                   `json:"id"`
+	ID string `json:"id"`
+	// Strategy is the node's strategy override (canonical name); empty
+	// means the fleet default, so pre-strategy snapshots restore
+	// unchanged.
+	Strategy string                   `json:"strategy,omitempty"`
 	Epoch    int                      `json:"epoch"`
 	Observed int64                    `json:"observed"`
 	Stale    int64                    `json:"stale,omitempty"`
@@ -44,6 +49,7 @@ func (f *Fleet) Snapshot() *Snapshot {
 		for _, p := range sh.nodes {
 			s.Nodes = append(s.Nodes, NodeState{
 				ID:       p.id,
+				Strategy: p.strategy,
 				Epoch:    p.epoch,
 				Observed: p.observed,
 				Stale:    p.stale,
@@ -97,6 +103,14 @@ func (f *Fleet) Restore(s *Snapshot) error {
 		if err != nil {
 			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
 		}
+		override := ""
+		if n.Strategy != "" {
+			strat, err := strategy.Lookup(n.Strategy)
+			if err != nil {
+				return fmt.Errorf("fleet: node %s: %w", n.ID, err)
+			}
+			override = strat.Name()
+		}
 		si := f.shardIndex(n.ID)
 		if restored[si] == nil {
 			restored[si] = make(map[string]*profile)
@@ -106,6 +120,7 @@ func (f *Fleet) Restore(s *Snapshot) error {
 		}
 		restored[si][n.ID] = &profile{
 			id:       n.ID,
+			strategy: override,
 			length:   length,
 			upload:   upload,
 			learner:  learner,

@@ -3,12 +3,15 @@ package sim
 import (
 	"fmt"
 
-	"rushprobe/internal/analysis"
 	"rushprobe/internal/core"
 	"rushprobe/internal/scenario"
+	"rushprobe/internal/strategy"
 )
 
-// Mechanism selects one of the paper's scheduling mechanisms.
+// Mechanism selects one of the paper's scheduling mechanisms. It is the
+// simulator's legacy enum for the built-in schemes; the general seam is
+// the strategy registry (package strategy), which SchedulerFactory and
+// StrategyFactory resolve through.
 type Mechanism int
 
 // The scheduling mechanisms under evaluation.
@@ -19,109 +22,73 @@ const (
 	MechanismAdaptiveRH
 )
 
-// String returns the paper's name for the mechanism.
+// String returns the paper's name for the mechanism, which is also its
+// canonical strategy-registry name.
 func (m Mechanism) String() string {
 	switch m {
 	case MechanismAT:
-		return "SNIP-AT"
+		return strategy.NameAT
 	case MechanismOPT:
-		return "SNIP-OPT"
+		return strategy.NameOPT
 	case MechanismRH:
-		return "SNIP-RH"
+		return strategy.NameRH
 	case MechanismAdaptiveRH:
-		return "SNIP-RH+AT"
+		return strategy.NameAdaptiveRH
 	default:
 		return fmt.Sprintf("mechanism(%d)", int(m))
 	}
 }
 
 // ParseMechanism converts a name ("SNIP-AT", "at", "rh", ...) to a
-// Mechanism.
+// Mechanism. Names resolve through the strategy registry, so every
+// registered alias works; registered strategies outside the paper's
+// four mechanisms are not representable as a Mechanism and yield an
+// error (use StrategyFactory for those).
 func ParseMechanism(name string) (Mechanism, error) {
-	switch name {
-	case "SNIP-AT", "at", "AT":
+	s, err := strategy.Lookup(name)
+	if err != nil {
+		return 0, fmt.Errorf("sim: unknown mechanism %q", name)
+	}
+	switch s.Name() {
+	case strategy.NameAT:
 		return MechanismAT, nil
-	case "SNIP-OPT", "opt", "OPT":
+	case strategy.NameOPT:
 		return MechanismOPT, nil
-	case "SNIP-RH", "rh", "RH":
+	case strategy.NameRH:
 		return MechanismRH, nil
-	case "SNIP-RH+AT", "adaptive", "rh+at":
+	case strategy.NameAdaptiveRH:
 		return MechanismAdaptiveRH, nil
 	default:
-		return 0, fmt.Errorf("sim: unknown mechanism %q", name)
+		return 0, fmt.Errorf("sim: strategy %q is not one of the paper's mechanisms", name)
 	}
 }
 
 // SchedulerFactory returns a factory producing fresh schedulers of the
-// given mechanism for the scenario. SNIP-AT's duty and SNIP-OPT's plan
-// are computed offline from the scenario's analytical model, exactly as
-// the paper parameterizes them for its simulations (§VII.A.2). SNIP-RH
-// gets the engineered rush-hour mask, the scenario budget, and priors
-// derived from the scenario (it learns the rest online).
+// given mechanism for the scenario, resolved through the strategy
+// registry. SNIP-AT's duty and SNIP-OPT's plan are computed offline
+// from the scenario's analytical model, exactly as the paper
+// parameterizes them for its simulations (§VII.A.2); SNIP-RH gets the
+// engineered rush-hour mask, the scenario budget, and priors derived
+// from the scenario (it learns the rest online).
 func SchedulerFactory(sc *scenario.Scenario, m Mechanism) (func() (core.Scheduler, error), error) {
+	return StrategyFactory(sc, m.String())
+}
+
+// StrategyFactory returns a scheduler factory for any registered
+// strategy name (or alias), parameterized for the scenario. This is the
+// general entry point: every scheme plugged into the strategy registry
+// is simulatable through it.
+func StrategyFactory(sc *scenario.Scenario, name string) (func() (core.Scheduler, error), error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	switch m {
-	case MechanismAT:
-		duty, err := analysis.ATDuty(sc)
-		if err != nil {
-			return nil, err
-		}
-		return func() (core.Scheduler, error) { return core.NewAT(duty) }, nil
-	case MechanismOPT:
-		plan, err := analysis.OPTPlan(sc)
-		if err != nil {
-			return nil, err
-		}
-		return func() (core.Scheduler, error) {
-			return core.NewOPTFollower(plan.Duty, sc.PhiMax)
-		}, nil
-	case MechanismRH:
-		cfg := rhConfigFor(sc)
-		return func() (core.Scheduler, error) { return core.NewRH(cfg) }, nil
-	case MechanismAdaptiveRH:
-		rushSlots := 0
-		for _, s := range sc.Slots {
-			if s.RushHour {
-				rushSlots++
-			}
-		}
-		if rushSlots == 0 {
-			rushSlots = max(1, len(sc.Slots)/6)
-		}
-		cfg := core.AdaptiveConfig{
-			RH:        rhConfigFor(sc),
-			Slots:     len(sc.Slots),
-			RushSlots: rushSlots,
-			// "A very very small duty-cycle" (§VII.B): half the budget
-			// duty of the paper's tight-budget SNIP-AT. Small enough to
-			// cost little, large enough that a busy slot yields a
-			// background probe every couple of epochs.
-			BackgroundDuty: 0.0005,
-			LearnEpochs:    2,
-		}
-		return func() (core.Scheduler, error) { return core.NewAdaptiveRH(cfg) }, nil
-	default:
-		return nil, fmt.Errorf("sim: unknown mechanism %v", m)
+	s, err := strategy.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// rhConfigFor derives the SNIP-RH configuration from a scenario: the
-// engineered mask, the epoch budget, a contact-length prior from the
-// scenario's mean (a deployment engineer's rough guess), and an upload
-// prior of half a mean contact at the link rate (the expected Tprobed at
-// the knee is half the contact length).
-func rhConfigFor(sc *scenario.Scenario) core.RHConfig {
-	meanLen := sc.MeanContactLength()
-	if meanLen <= 0 {
-		meanLen = 1
+	f, err := s.Schedulers(sc)
+	if err != nil {
+		return nil, err
 	}
-	return core.RHConfig{
-		Mask:        sc.RushMask(),
-		Ton:         sc.Radio.Ton,
-		PhiMax:      sc.PhiMax,
-		LengthPrior: meanLen,
-		UploadPrior: sc.UploadRate * meanLen / 2,
-	}
+	return f, nil
 }

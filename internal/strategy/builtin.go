@@ -1,0 +1,317 @@
+package strategy
+
+import (
+	"fmt"
+
+	"rushprobe/internal/analysis"
+	"rushprobe/internal/core"
+	"rushprobe/internal/model"
+	"rushprobe/internal/scenario"
+)
+
+// The canonical names of the built-in strategies.
+const (
+	NameAT         = "SNIP-AT"
+	NameOPT        = "SNIP-OPT"
+	NameRH         = "SNIP-RH"
+	NameAdaptiveRH = "SNIP-RH+AT"
+)
+
+func init() {
+	mustRegister(periodic{}, "at", "AT", "periodic")
+	mustRegister(optimal{}, "opt", "OPT", "optimal")
+	mustRegister(rushHour{}, "rh", "RH", "rush-hour")
+	mustRegister(adaptive{}, "adaptive", "rh+at", "RH+AT")
+}
+
+// periodic is SNIP-AT, the periodic-probing baseline: one fixed duty
+// cycle around the clock, calibrated offline so the expected probed
+// capacity meets the scenario target under the energy budget (§IV,
+// §VII.A.2).
+type periodic struct{}
+
+// Name returns "SNIP-AT".
+func (periodic) Name() string { return NameAT }
+
+// Plan returns the flat duty plan of the calibrated SNIP-AT.
+func (periodic) Plan(sc *scenario.Scenario) (*Plan, error) {
+	ev, err := analysis.NewEvaluator(sc)
+	if err != nil {
+		return nil, err
+	}
+	at := ev.AT(sc.ZetaTarget)
+	duty := make([]float64, len(sc.Slots))
+	d := ev.ATDuty(sc.ZetaTarget)
+	for i := range duty {
+		duty[i] = d
+	}
+	return &Plan{
+		Strategy:  NameAT,
+		Duty:      duty,
+		Zeta:      at.Zeta,
+		Phi:       at.Phi,
+		TargetMet: at.TargetMet,
+	}, nil
+}
+
+// Schedulers calibrates the fixed duty once and mints core.AT
+// schedulers around it.
+func (periodic) Schedulers(sc *scenario.Scenario) (Factory, error) {
+	duty, err := analysis.ATDuty(sc)
+	if err != nil {
+		return nil, err
+	}
+	return func() (core.Scheduler, error) { return core.NewAT(duty) }, nil
+}
+
+// optimal is SNIP-OPT, the optimizer-backed scheme: the per-slot duty
+// plan of the paper's two-step concave allocation (§V), solved offline
+// for the scenario and followed verbatim.
+type optimal struct{}
+
+// Name returns "SNIP-OPT".
+func (optimal) Name() string { return NameOPT }
+
+// Plan solves the two-step optimization for the scenario.
+func (optimal) Plan(sc *scenario.Scenario) (*Plan, error) {
+	plan, err := analysis.OPTPlan(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Strategy:  NameOPT,
+		Duty:      plan.Duty,
+		Zeta:      plan.Zeta,
+		Phi:       plan.Phi,
+		TargetMet: plan.TargetMet,
+	}, nil
+}
+
+// Schedulers solves the plan once and mints followers of it.
+func (optimal) Schedulers(sc *scenario.Scenario) (Factory, error) {
+	plan, err := analysis.OPTPlan(sc)
+	if err != nil {
+		return nil, err
+	}
+	return func() (core.Scheduler, error) {
+		return core.NewOPTFollower(plan.Duty, sc.PhiMax)
+	}, nil
+}
+
+// rushHour is SNIP-RH, the paper's proposed scheme: probe only in the
+// scenario's rush-hour slots at the knee duty cycle, gated by the naive
+// data-threshold and energy-budget activation conditions (§VI).
+type rushHour struct{}
+
+// Name returns "SNIP-RH".
+func (rushHour) Name() string { return NameRH }
+
+// Plan probes the rush-hour slots at the knee duty of the rush-hour
+// mean contact length (§VI.C), scaled down uniformly if that would
+// exceed the energy budget.
+func (rushHour) Plan(sc *scenario.Scenario) (*Plan, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return kneePlan(sc), nil
+}
+
+// Schedulers derives the SNIP-RH configuration from the scenario and
+// mints fresh learners; the duty cycle adapts online via the
+// contact-length EWMA (the update hook).
+func (rushHour) Schedulers(sc *scenario.Scenario) (Factory, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := rhConfig(sc)
+	return func() (core.Scheduler, error) { return core.NewRH(cfg) }, nil
+}
+
+// adaptive is SNIP-RH+AT, the §VII.B variant: SNIP-RH over a learned
+// (not engineered) rush-hour mask, kept fresh by an always-on
+// background SNIP-AT at a very small duty cycle.
+type adaptive struct{}
+
+// backgroundDuty is the §VII.B "very very small duty-cycle": half the
+// budget duty of the paper's tight-budget SNIP-AT — small enough to
+// cost little, large enough that a busy slot yields a background probe
+// every couple of epochs.
+const backgroundDuty = 0.0005
+
+// Name returns "SNIP-RH+AT".
+func (adaptive) Name() string { return NameAdaptiveRH }
+
+// Plan is the SNIP-RH knee plan with the background duty cycle filling
+// the off-peak slots (the steady state the adaptive scheduler converges
+// to once its learned mask matches the engineered one). Like every
+// served plan it respects PhiMax: when rush probing plus background
+// would overspend, the whole plan is scaled down uniformly into the
+// budget.
+func (adaptive) Plan(sc *scenario.Scenario) (*Plan, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	p := unscaledKneePlan(sc)
+	p.Strategy = NameAdaptiveRH
+	procs := sc.SlotProcesses()
+	for i := range p.Duty {
+		if p.Duty[i] == 0 {
+			p.Duty[i] = backgroundDuty
+		}
+	}
+	phi := 0.0
+	for i := range p.Duty {
+		phi += procs[i].Duration * p.Duty[i]
+	}
+	if sc.PhiMax > 0 && phi > sc.PhiMax {
+		scale := sc.PhiMax / phi
+		for i := range p.Duty {
+			p.Duty[i] *= scale
+		}
+		phi = sc.PhiMax
+	}
+	zeta := 0.0
+	for i := range p.Duty {
+		if p.Duty[i] > 0 {
+			zeta += probedCapacity(procs[i], sc.Radio, p.Duty[i])
+		}
+	}
+	p.Phi = phi
+	p.Zeta = zeta
+	p.TargetMet = zeta >= sc.ZetaTarget-1e-9
+	return p, nil
+}
+
+// Schedulers mints adaptive schedulers that bootstrap their own mask.
+func (adaptive) Schedulers(sc *scenario.Scenario) (Factory, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rushSlots := 0
+	for _, s := range sc.Slots {
+		if s.RushHour {
+			rushSlots++
+		}
+	}
+	if rushSlots == 0 {
+		rushSlots = max(1, len(sc.Slots)/6)
+	}
+	cfg := core.AdaptiveConfig{
+		RH:             rhConfig(sc),
+		Slots:          len(sc.Slots),
+		RushSlots:      rushSlots,
+		BackgroundDuty: backgroundDuty,
+		LearnEpochs:    2,
+	}
+	return func() (core.Scheduler, error) { return core.NewAdaptiveRH(cfg) }, nil
+}
+
+// rhConfig derives the SNIP-RH configuration from a scenario: the
+// engineered mask, the epoch budget, a contact-length prior from the
+// scenario's mean (a deployment engineer's rough guess), and an upload
+// prior of half a mean contact at the link rate (the expected Tprobed
+// at the knee is half the contact length).
+func rhConfig(sc *scenario.Scenario) core.RHConfig {
+	meanLen := sc.MeanContactLength()
+	if meanLen <= 0 {
+		meanLen = 1
+	}
+	return core.RHConfig{
+		Mask:        sc.RushMask(),
+		Ton:         sc.Radio.Ton,
+		PhiMax:      sc.PhiMax,
+		LengthPrior: meanLen,
+		UploadPrior: sc.UploadRate * meanLen / 2,
+	}
+}
+
+// unscaledKneePlan is the raw SNIP-RH duty shape: the knee duty of the
+// rush-hour mean contact length in every rush slot, zero elsewhere,
+// before any budget scaling. Outcome fields are left zero.
+func unscaledKneePlan(sc *scenario.Scenario) *Plan {
+	duty := make([]float64, len(sc.Slots))
+	meanLen := analysis.RushMeanLength(sc)
+	if meanLen <= 0 {
+		meanLen = sc.MeanContactLength()
+	}
+	if meanLen <= 0 {
+		// A scenario with no contacts anywhere: the radio never probes.
+		return &Plan{Strategy: NameRH, Duty: duty, TargetMet: sc.ZetaTarget <= 0}
+	}
+	drh := sc.Radio.Knee(meanLen)
+	for i, s := range sc.Slots {
+		if s.RushHour {
+			duty[i] = drh
+		}
+	}
+	return &Plan{Strategy: NameRH, Duty: duty}
+}
+
+// kneePlan is the SNIP-RH offline plan: the raw knee duties scaled down
+// uniformly if they would exceed the energy budget, with the plan's
+// expected outcome filled in.
+func kneePlan(sc *scenario.Scenario) *Plan {
+	p := unscaledKneePlan(sc)
+	procs := sc.SlotProcesses()
+	phi := 0.0
+	for i, d := range p.Duty {
+		phi += procs[i].Duration * d
+	}
+	if sc.PhiMax > 0 && phi > sc.PhiMax {
+		scale := sc.PhiMax / phi
+		for i := range p.Duty {
+			p.Duty[i] *= scale
+		}
+		phi = sc.PhiMax
+	}
+	zeta := 0.0
+	for i, d := range p.Duty {
+		if d > 0 {
+			zeta += probedCapacity(procs[i], sc.Radio, d)
+		}
+	}
+	if phi == 0 {
+		zeta = 0
+	}
+	p.Zeta = zeta
+	p.Phi = phi
+	p.TargetMet = zeta >= sc.ZetaTarget-1e-9
+	return p
+}
+
+// probedCapacity is SlotProcess.ProbedCapacity guarded for empty slots.
+func probedCapacity(p model.SlotProcess, cfg model.Config, d float64) float64 {
+	if p.Freq <= 0 || p.Length == nil {
+		return 0
+	}
+	return p.ProbedCapacity(cfg, d)
+}
+
+// ensure the built-ins satisfy the interface.
+var (
+	_ Strategy = periodic{}
+	_ Strategy = optimal{}
+	_ Strategy = rushHour{}
+	_ Strategy = adaptive{}
+)
+
+// Describe returns a one-line description of a built-in strategy, or a
+// generic line for externally registered ones.
+func Describe(name string) (string, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return "", err
+	}
+	switch s.Name() {
+	case NameAT:
+		return "periodic probing at one fixed calibrated duty cycle (§IV)", nil
+	case NameOPT:
+		return "optimizer-backed per-slot duty plan (two-step concave allocation, §V)", nil
+	case NameRH:
+		return "rush-hour probing at the knee duty with data/budget threshold conditions (§VI)", nil
+	case NameAdaptiveRH:
+		return "SNIP-RH over a learned mask plus a tiny always-on background duty (§VII.B)", nil
+	default:
+		return fmt.Sprintf("externally registered strategy %q", s.Name()), nil
+	}
+}

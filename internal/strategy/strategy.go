@@ -1,0 +1,138 @@
+// Package strategy is the pluggable probing-strategy seam of the
+// system: one interface that every scheduling scheme — the paper's
+// rush-hour mechanism, its baselines, and any future scheme (adaptive
+// duty cycling, pull-based bulk collection) — implements, plus a name
+// registry that the simulator, the experiment sweeps, the fleet serving
+// layer, and the CLIs all resolve strategies through.
+//
+// A Strategy has two faces:
+//
+//   - Plan parameterizes the strategy offline for a scenario and
+//     returns its per-slot probing-interval plan (duty cycles) with the
+//     plan's expected outcome. The fleet layer serves these plans.
+//   - Schedulers parameterizes the strategy for simulation: the
+//     returned factory mints one fresh core.Scheduler per run. The
+//     scheduler's OnContactProbed/OnEpochStart methods are the
+//     strategy's online update hook.
+//
+// Implementations register themselves under a canonical name plus
+// aliases (Register), mirroring how package dist gives every
+// distribution a stable spec kind; Lookup resolves either form. The
+// paper's schemes are pre-registered: "SNIP-AT" (periodic probing at a
+// fixed duty), "SNIP-OPT" (optimizer-backed per-slot plan), "SNIP-RH"
+// (rush-hour probing with the naive data/budget threshold conditions),
+// and "SNIP-RH+AT" (adaptive rush-hour learning).
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rushprobe/internal/core"
+	"rushprobe/internal/scenario"
+)
+
+// Plan is a strategy's offline parameterization for one scenario: the
+// per-slot probing-interval plan it would run, as duty cycles, with the
+// plan's analytically expected outcome.
+type Plan struct {
+	// Strategy is the canonical name of the strategy that produced the
+	// plan.
+	Strategy string
+	// Duty is the duty cycle per slot of the epoch (0 = radio off).
+	Duty []float64
+	// Zeta and Phi are the plan's expected probed capacity and probing
+	// energy in seconds per epoch.
+	Zeta, Phi float64
+	// TargetMet reports whether the plan reaches the scenario's
+	// probed-capacity target.
+	TargetMet bool
+}
+
+// Factory mints fresh schedulers for one parameterization. Schedulers
+// carry learned state, so every simulation run needs its own instance;
+// the expensive offline work (optimizer solves, duty calibration)
+// happens once when the factory is built.
+type Factory func() (core.Scheduler, error)
+
+// Strategy is a probing strategy: a named scheme that can parameterize
+// itself for any scenario, both as an offline per-slot plan (for
+// serving) and as an online scheduler (for simulation).
+type Strategy interface {
+	// Name is the canonical registry name ("SNIP-RH", ...).
+	Name() string
+	// Plan returns the strategy's per-slot probing plan for the
+	// scenario.
+	Plan(sc *scenario.Scenario) (*Plan, error)
+	// Schedulers returns a factory minting fresh online schedulers of
+	// the strategy for the scenario.
+	Schedulers(sc *scenario.Scenario) (Factory, error)
+}
+
+// registry maps canonical names and aliases to strategies. Guarded by a
+// mutex so init-time registration and test registration are safe
+// against concurrent lookups from the worker pool.
+var registry struct {
+	sync.RWMutex
+	byName    map[string]Strategy
+	canonical []string
+}
+
+// Register adds a strategy under its canonical name plus the given
+// aliases. It returns an error if any name is empty or already taken.
+func Register(s Strategy, aliases ...string) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("strategy: empty canonical name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.byName == nil {
+		registry.byName = make(map[string]Strategy)
+	}
+	names := append([]string{name}, aliases...)
+	for _, n := range names {
+		if n == "" {
+			return fmt.Errorf("strategy: %s registers an empty alias", name)
+		}
+		if _, dup := registry.byName[n]; dup {
+			return fmt.Errorf("strategy: name %q already registered", n)
+		}
+	}
+	for _, n := range names {
+		registry.byName[n] = s
+	}
+	registry.canonical = append(registry.canonical, name)
+	sort.Strings(registry.canonical)
+	return nil
+}
+
+// mustRegister is Register for the built-in strategies, whose names
+// cannot collide.
+func mustRegister(s Strategy, aliases ...string) {
+	if err := Register(s, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a canonical name or alias to its strategy.
+func Lookup(name string) (Strategy, error) {
+	registry.RLock()
+	s, ok := registry.byName[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("strategy: unknown strategy %q (registered: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names returns the canonical names of all registered strategies in
+// sorted order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, len(registry.canonical))
+	copy(out, registry.canonical)
+	return out
+}

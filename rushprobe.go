@@ -38,6 +38,7 @@ import (
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/sim"
 	"rushprobe/internal/simtime"
+	"rushprobe/internal/strategy"
 )
 
 // Mechanism names a SNIP scheduling mechanism.
@@ -57,9 +58,16 @@ func Mechanisms() []Mechanism {
 	return []Mechanism{SNIPAT, SNIPOPT, SNIPRH}
 }
 
-func (m Mechanism) internal() (sim.Mechanism, error) {
-	return sim.ParseMechanism(string(m))
-}
+// Strategies returns the canonical names of every registered probing
+// strategy, sorted. The paper's mechanisms are pre-registered; any of
+// these names (or their aliases, e.g. "rh" for "SNIP-RH") is accepted
+// by WithStrategy, WithFleetMechanism via Mechanism, Fleet.SetStrategy,
+// and the -strategy flags of the CLIs.
+func Strategies() []string { return strategy.Names() }
+
+// StrategyDescription returns the one-line description of a registered
+// strategy, or an error for unknown names.
+func StrategyDescription(name string) (string, error) { return strategy.Describe(name) }
 
 // Scenario describes a deployment: the mobility epoch and slots, the
 // per-slot contact process, the radio, the probing-energy budget PhiMax,
@@ -337,6 +345,7 @@ type simOpts struct {
 	shiftBy      int
 	shiftSet     bool
 	parallelism  int
+	strategies   []string
 }
 
 // WithEpochs sets the number of simulated epochs (default 14, the
@@ -373,6 +382,18 @@ func WithSeed(seed uint64) SimOption {
 // wall-clock knob.
 func WithParallelism(n int) SimOption { return func(o *simOpts) { o.parallelism = n } }
 
+// WithStrategy selects a registered probing strategy by name or alias
+// (see Strategies). In Simulate and SimulateReplications it overrides
+// the mechanism argument, which lets any registered scheme — not just
+// the paper's four — drive the simulation; give it at most once there.
+// In RunExperiment it replaces the strategy axis of the simulation
+// sweeps (fig7, fig8, ext-loss, ext-latency: one swept column per
+// WithStrategy, in the order given; ext-contention: exactly one);
+// experiments without a strategy axis reject it.
+func WithStrategy(name string) SimOption {
+	return func(o *simOpts) { o.strategies = append(o.strategies, name) }
+}
+
 // WithPatternShift displaces the whole mobility pattern by the given
 // number of slots from the given epoch onward (seasonal drift).
 func WithPatternShift(atEpoch, bySlots int) SimOption {
@@ -407,13 +428,19 @@ type SimSummary struct {
 	PerEpochZeta []float64
 }
 
-// simConfig resolves the options into a simulator configuration.
+// simConfig resolves the options into a simulator configuration. The
+// scheduler comes from the strategy registry: the mechanism argument's
+// name by default, the WithStrategy override when given.
 func simConfig(s *Scenario, m Mechanism, o simOpts) (sim.Config, error) {
-	im, err := m.internal()
-	if err != nil {
-		return sim.Config{}, err
+	name := string(m)
+	switch len(o.strategies) {
+	case 0:
+	case 1:
+		name = o.strategies[0]
+	default:
+		return sim.Config{}, fmt.Errorf("rushprobe: a simulation runs one strategy; got %d WithStrategy options", len(o.strategies))
 	}
-	factory, err := sim.SchedulerFactory(s.inner, im)
+	factory, err := sim.StrategyFactory(s.inner, name)
 	if err != nil {
 		return sim.Config{}, err
 	}
@@ -581,11 +608,13 @@ func ExperimentDescription(id string) (string, error) {
 
 // RunExperiment regenerates one figure's data tables. Simulation-based
 // experiments fan their sweep grids out across the worker pool; of the
-// simulation options only WithParallelism and WithSeed apply here —
-// experiments fix their own epochs, warmup, and shifts, so passing
-// WithEpochs, WithWarmup, or WithPatternShift is an error rather than
-// a silent no-op. WithSeed, when given, overrides the positional seed.
-// Tables are bit-identical for every parallelism setting.
+// simulation options only WithParallelism, WithSeed, and WithStrategy
+// apply here — experiments fix their own epochs, warmup, and shifts, so
+// passing WithEpochs, WithWarmup, or WithPatternShift is an error
+// rather than a silent no-op. WithSeed, when given, overrides the
+// positional seed; WithStrategy (repeatable) replaces the strategy axis
+// of the sweeps that have one. Tables are bit-identical for every
+// parallelism setting.
 func RunExperiment(id string, seed uint64, opts ...SimOption) ([]*Table, error) {
 	e, ok := experiments.Registry()[id]
 	if !ok {
@@ -596,12 +625,12 @@ func RunExperiment(id string, seed uint64, opts ...SimOption) ([]*Table, error) 
 		opt(&o)
 	}
 	if o.epochsSet || o.warmupSet || o.shiftSet {
-		return nil, fmt.Errorf("rushprobe: experiment %s fixes its own epochs/warmup/shift; only WithSeed and WithParallelism apply", id)
+		return nil, fmt.Errorf("rushprobe: experiment %s fixes its own epochs/warmup/shift; only WithSeed, WithParallelism, and WithStrategy apply", id)
 	}
 	if o.seedSet {
 		seed = o.seed
 	}
-	tabs, err := e.Run(experiments.Params{Seed: seed, Parallelism: o.parallelism})
+	tabs, err := e.Run(experiments.Params{Seed: seed, Parallelism: o.parallelism, Strategies: o.strategies})
 	if err != nil {
 		return nil, fmt.Errorf("rushprobe: experiment %s: %w", id, err)
 	}

@@ -1,0 +1,67 @@
+package rushprobe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStrategiesRegistry asserts the paper's four schemes are
+// registered and alias lookups resolve.
+func TestStrategiesRegistry(t *testing.T) {
+	got := Strategies()
+	for _, want := range []string{"SNIP-AT", "SNIP-OPT", "SNIP-RH", "SNIP-RH+AT"} {
+		found := false
+		for _, n := range got {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Strategies() = %v, missing %s", got, want)
+		}
+	}
+	for _, name := range got {
+		if _, err := StrategyDescription(name); err != nil {
+			t.Errorf("StrategyDescription(%s): %v", name, err)
+		}
+	}
+	if _, err := StrategyDescription("SNIP-BOGUS"); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+// TestSimulateWithStrategy runs the simulation through the strategy
+// seam: the override picks the scheduler regardless of the mechanism
+// argument, aliases resolve, and double selection errors.
+func TestSimulateWithStrategy(t *testing.T) {
+	sc := Roadside(WithZetaTarget(16))
+	sum, err := Simulate(sc, SNIPAT, WithEpochs(3), WithStrategy("rh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mechanism != SNIPRH {
+		t.Fatalf("mechanism = %s, want %s (strategy override must win)", sum.Mechanism, SNIPRH)
+	}
+	base, err := Simulate(sc, SNIPRH, WithEpochs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Zeta != sum.Zeta || base.Phi != sum.Phi {
+		t.Fatalf("strategy-selected run differs from mechanism run: %+v vs %+v", sum, base)
+	}
+	if _, err := Simulate(sc, SNIPAT, WithEpochs(3), WithStrategy("rh"), WithStrategy("opt")); err == nil {
+		t.Fatal("two WithStrategy options in Simulate should error")
+	}
+	if _, err := Simulate(sc, SNIPAT, WithEpochs(3), WithStrategy("SNIP-BOGUS")); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+}
+
+// TestRunExperimentStrategyAxis asserts experiments without a strategy
+// axis reject a selection instead of silently ignoring it.
+func TestRunExperimentStrategyAxis(t *testing.T) {
+	_, err := RunExperiment("fig5", 1, WithStrategy("rh"))
+	if err == nil || !strings.Contains(err.Error(), "no strategy axis") {
+		t.Fatalf("fig5 with a strategy selection: err = %v, want a no-strategy-axis error", err)
+	}
+}
