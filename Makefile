@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline serve smoke-fleet loadtest
+.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve smoke-fleet loadtest
 
 all: fmt vet build test
 
@@ -22,8 +22,10 @@ test:
 
 # -short skips the slow simulation goldens (they are numeric, not
 # concurrent, and the plain `make test` already runs them in full).
+# internal/fleetsim is the closed-loop co-sim smoke: its parallel ==
+# serial determinism test must stay race-clean.
 race:
-	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/fleet/ ./cmd/rushprobed/
+	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/fleet/ ./internal/fleetsim/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -52,6 +54,13 @@ loadtest: build-cmds
 	./bin/rushbench -addr http://127.0.0.1:18080 -rate 1000 -duration 10s \
 		-nodes 64 -strategies SNIP-OPT,SNIP-RH; \
 	status=$$?; kill $$pid 2>/dev/null; exit $$status
+
+# Closed-loop fleet co-simulation benchmarks: the ext-fleet experiment
+# (24 nodes, the golden table) and the 1000-node scale acceptance
+# (must stay under 30 s single-core; see BENCH_baseline.json).
+bench-fleetsim:
+	$(GO) test -run '^$$' -bench 'BenchmarkExtFleet$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetSim1k' -benchtime 1x ./internal/fleetsim/
 
 # Fast perf sanity check: the DES hot path (must stay 0 allocs/op), the
 # replication fan-out, and the fleet ingest path (must stay

@@ -14,6 +14,7 @@ package rushprobe
 //
 //	BenchmarkExtRushHourLearning        §VII.B learning bootstrap
 //	BenchmarkExtSeasonalShift           §VII.B adaptive tracking
+//	BenchmarkExtFleet                   closed-loop fleet co-simulation vs oracle
 //	BenchmarkAblationDutyCycleSensitivity  §VI.C drh sensitivity
 //	BenchmarkAblationExponentialContacts   footnote 1
 //	BenchmarkAblationBeaconLoss         beacon-loss robustness
@@ -320,6 +321,31 @@ func BenchmarkExtContention(b *testing.B) {
 					resolve, collide, row[0])
 			}
 		}
+	}
+}
+
+func BenchmarkExtFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := runAndPrint(b, "ext-fleet", 1)
+		rows := tables[0].Rows
+		// Columns: epoch, then per strategy (OPT, RH): zeta, phi,
+		// zeta_vs_oracle, phi_vs_oracle. During the SNIP-AT bootstrap
+		// the fleet undershoots its oracle; once learned plans take
+		// over, goodput must climb toward it.
+		boot, learned := 0.0, 0.0
+		for _, row := range rows {
+			if int(row[0]) < 3 {
+				boot += row[3] / 3
+			} else {
+				learned += row[3] / float64(len(rows)-3)
+			}
+		}
+		if learned <= boot {
+			b.Fatalf("ext-fleet: learned plans (x%.3f of oracle) no better than bootstrap (x%.3f)", learned, boot)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last[3], "opt_zeta_vs_oracle")
+		b.ReportMetric(last[7], "rh_zeta_vs_oracle")
 	}
 }
 

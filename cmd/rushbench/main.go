@@ -352,14 +352,25 @@ func bench(cfg config) (*Summary, error) {
 	return s, nil
 }
 
-// fillLatencies computes the latency percentiles in milliseconds.
+// fillLatencies computes the latency percentiles in milliseconds using
+// the nearest-rank definition: the p-th percentile of n sorted samples
+// is sample ceil(p*n) (1-based). A truncating index like
+// int(p*(n-1)) systematically underestimates high percentiles on small
+// samples — the p99 of 50 samples would read the 49th value, not the
+// 50th.
 func fillLatencies(s *Summary, lats []time.Duration) {
 	if len(lats) == 0 {
 		return
 	}
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
 	pct := func(p float64) float64 {
-		i := int(p * float64(len(lats)-1))
+		i := int(math.Ceil(p*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
 		return float64(lats[i]) / float64(time.Millisecond)
 	}
 	s.LatencyMs.P50 = pct(0.50)

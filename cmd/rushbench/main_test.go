@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"rushprobe"
 )
@@ -125,5 +126,42 @@ func TestBenchFailsOnUnhealthyTarget(t *testing.T) {
 	}, &out)
 	if err == nil {
 		t.Fatal("unreachable daemon should error")
+	}
+}
+
+// TestFillLatenciesNearestRank pins the percentile definition: on 50
+// sorted samples of 1..50 ms, nearest-rank gives p50=25, p90=45,
+// p99=50. The old truncating index int(p*(len-1)) read p99 from index
+// 48 (= 49 ms), underestimating tail latency on every small sample.
+func TestFillLatenciesNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 50)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	var s Summary
+	fillLatencies(&s, lats)
+	if s.LatencyMs.P50 != 25 {
+		t.Errorf("p50 = %v ms, want 25", s.LatencyMs.P50)
+	}
+	if s.LatencyMs.P90 != 45 {
+		t.Errorf("p90 = %v ms, want 45", s.LatencyMs.P90)
+	}
+	if s.LatencyMs.P99 != 50 {
+		t.Errorf("p99 = %v ms, want 50 (nearest rank), not 49 (truncated index)", s.LatencyMs.P99)
+	}
+	if s.LatencyMs.Max != 50 {
+		t.Errorf("max = %v ms, want 50", s.LatencyMs.Max)
+	}
+	// A single sample reports itself at every percentile.
+	var one Summary
+	fillLatencies(&one, []time.Duration{7 * time.Millisecond})
+	if one.LatencyMs.P50 != 7 || one.LatencyMs.P99 != 7 {
+		t.Errorf("single-sample percentiles = %+v, want all 7 ms", one.LatencyMs)
+	}
+	// Empty input leaves the zero value.
+	var empty Summary
+	fillLatencies(&empty, nil)
+	if empty.LatencyMs.P99 != 0 {
+		t.Errorf("empty input set p99 = %v", empty.LatencyMs.P99)
 	}
 }

@@ -122,7 +122,10 @@ func run(args []string, out io.Writer) error {
 }
 
 // loadSnapshot restores the fleet from path if the file exists; a
-// missing file is a fresh start, not an error.
+// missing file is a fresh start, not an error. A file that exists but
+// does not restore (truncated, corrupt, wrong base) is a hard error
+// identifying the path — silently starting fresh would discard every
+// node's learned state behind the operator's back.
 func loadSnapshot(f *rushprobe.Fleet, path string) error {
 	file, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -132,11 +135,18 @@ func loadSnapshot(f *rushprobe.Fleet, path string) error {
 		return err
 	}
 	defer file.Close()
-	return f.Restore(file)
+	if err := f.Restore(file); err != nil {
+		return fmt.Errorf("snapshot %s is not restorable (remove or replace it to start fresh): %w", path, err)
+	}
+	return nil
 }
 
-// saveSnapshot persists the fleet atomically: write to a temp file in
-// the same directory, then rename over the target.
+// saveSnapshot persists the fleet atomically and durably: write to a
+// temp file in the same directory, fsync it, then rename over the
+// target. Without the fsync the rename can land on disk before the
+// data does, so a crash shortly after saving could leave a truncated
+// or empty snapshot at the final path — exactly the state loadSnapshot
+// refuses to guess around.
 func saveSnapshot(f *rushprobe.Fleet, path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -145,6 +155,10 @@ func saveSnapshot(f *rushprobe.Fleet, path string) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := f.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -403,3 +403,69 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("zero smoke nodes accepted")
 	}
 }
+
+// TestLoadSnapshotSurfacesCorruptFiles: a snapshot file that exists but
+// cannot be restored must be a clear startup error naming the path — a
+// silent fresh start would throw away the whole fleet's learned state.
+// An empty file is the classic crash artifact: pre-fsync, a crash
+// right after the rename could leave exactly that on disk.
+func TestLoadSnapshotSurfacesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json": `{"version":1,"baseFingerprint":"0","nodes":[{"id":"n1","ep`,
+		"garbage.json":   "not json at all\n",
+		"empty.json":     "",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := loadSnapshot(newTestFleet(t), path)
+		if err == nil {
+			t.Errorf("%s: corrupt snapshot restored silently", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("%s: error %q does not name the snapshot path", name, err)
+		}
+	}
+	// A missing file stays a fresh start.
+	if err := loadSnapshot(newTestFleet(t), filepath.Join(dir, "absent.json")); err != nil {
+		t.Errorf("missing snapshot must be a fresh start, got %v", err)
+	}
+}
+
+// TestSaveLoadSnapshotRoundTrip: saveSnapshot's fsync+rename output
+// must be exactly what loadSnapshot restores.
+func TestSaveLoadSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	f := newTestFleet(t)
+	f.Observe(traceObservations(t, "n1", 7, 5))
+	if err := saveSnapshot(f, path); err != nil {
+		t.Fatal(err)
+	}
+	restored := newTestFleet(t)
+	if err := loadSnapshot(restored, path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Schedule("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Schedule("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Fingerprint != got.Fingerprint || want.Mechanism != got.Mechanism {
+		t.Fatalf("restored schedule differs: %+v vs %+v", got, want)
+	}
+	// No temp files may linger next to the snapshot.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot directory has %d entries, want only the snapshot", len(entries))
+	}
+}

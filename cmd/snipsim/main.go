@@ -1,10 +1,14 @@
 // Command snipsim runs one simulation of the road-side scenario under a
-// chosen probing strategy and prints the per-epoch averages.
+// chosen probing strategy and prints the per-epoch averages. With
+// -fleet it instead co-simulates a heterogeneous node population
+// against a live fleet (closed loop: observations in, learned schedules
+// back out) and prints the per-epoch convergence toward the oracle.
 //
 // Usage:
 //
 //	snipsim -mechanism rh -target 24 -budget-frac 0.001 -epochs 14
 //	snipsim -strategy SNIP-RH+AT -epochs 28    # any registered strategy
+//	snipsim -fleet -fleet-nodes 100 -epochs 10 -fleet-drift 0.25
 //	snipsim -list-strategies
 package main
 
@@ -37,6 +41,12 @@ func run(args []string) error {
 		perEpoch   = fs.Bool("per-epoch", false, "also print per-epoch capacity (per-replication summaries with -replications)")
 		reps       = fs.Int("replications", 1, "independent replications with derived seeds")
 		parallel   = fs.Int("parallel", 0, "max concurrent replications (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+
+		fleetMode  = fs.Bool("fleet", false, "closed-loop fleet co-simulation: a heterogeneous population learns its schedules online")
+		fleetNodes = fs.Int("fleet-nodes", 64, "population size of the -fleet co-simulation")
+		fleetDrift = fs.Float64("fleet-drift", 0, "fraction of the -fleet population whose pattern shifts mid-run")
+		driftEpoch = fs.Int("fleet-drift-epoch", 0, "epoch at which drifting nodes shift (0 = halfway)")
+		driftBy    = fs.Int("fleet-drift-slots", 3, "how many slots drifting nodes shift by")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +83,36 @@ func run(args []string) error {
 		rushprobe.WithBudgetFraction(*budgetFrac),
 		rushprobe.WithBeaconLoss(*loss),
 	)
+	if *fleetMode {
+		if *reps > 1 {
+			return fmt.Errorf("-fleet runs one co-simulation (the population is the replication axis); drop -replications")
+		}
+		opts := append(stratOpts,
+			rushprobe.WithEpochs(*epochs),
+			rushprobe.WithSeed(*seed),
+			rushprobe.WithParallelism(*parallel),
+			rushprobe.WithNodes(*fleetNodes),
+		)
+		if *fleetDrift > 0 {
+			opts = append(opts, rushprobe.WithDrift(*fleetDrift, *driftEpoch, *driftBy))
+		}
+		sum, err := rushprobe.SimulateFleet(sc, mechanism, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet strategy:   %s\n", sum.Strategy)
+		fmt.Printf("population:       %d nodes x %d epochs (%d drifted)\n", sum.Nodes, sum.Epochs, sum.DriftNodes)
+		fmt.Printf("plan cache:       %d solves, %d hits, %d distinct plans served\n",
+			sum.Stats.PlanSolves, sum.Stats.PlanCacheHits, sum.DistinctPlans)
+		fmt.Printf("observations:     %d accepted, %d stale, %d invalid\n",
+			sum.Stats.Observations, sum.Stats.Stale, sum.Stats.Invalid)
+		fmt.Println("per-epoch fleet means (closed loop vs oracle):")
+		for _, p := range sum.PerEpoch {
+			fmt.Printf("  epoch %2d: zeta %7.3f s (oracle %7.3f, x%.3f)  phi %7.3f s (oracle %7.3f, x%.3f)\n",
+				p.Epoch, p.Zeta, p.OracleZeta, p.ZetaRatio, p.Phi, p.OraclePhi, p.PhiRatio)
+		}
+		return nil
+	}
 	if *reps > 1 {
 		rep, err := rushprobe.SimulateReplications(sc, mechanism, *reps,
 			append(stratOpts,

@@ -1,0 +1,125 @@
+package rushprobe
+
+import (
+	"errors"
+	"fmt"
+
+	"rushprobe/internal/fleetsim"
+)
+
+// FleetEpoch is one epoch of a fleet co-simulation's convergence curve:
+// the across-node means of the realized probed capacity and probing
+// energy, for the closed loop and for the oracle flying the same
+// contact streams.
+type FleetEpoch struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// Zeta and Phi are the closed loop's fleet means (seconds/epoch).
+	Zeta, Phi float64
+	// OracleZeta and OraclePhi are the oracle pass's fleet means.
+	OracleZeta, OraclePhi float64
+	// ZetaRatio and PhiRatio are the convergence ratios Zeta/OracleZeta
+	// and Phi/OraclePhi (0 when the oracle term is 0).
+	ZetaRatio, PhiRatio float64
+}
+
+// FleetSimSummary is the outcome of a closed-loop fleet co-simulation.
+type FleetSimSummary struct {
+	// Strategy is the canonical name of the strategy the fleet served.
+	Strategy string
+	// Nodes and Epochs are the population size and horizon.
+	Nodes, Epochs int
+	// DriftNodes counts nodes whose mobility pattern shifted mid-run.
+	DriftNodes int
+	// DistinctPlans is how many distinct plans the fleet serves the
+	// population at the end (the plan cache's collapse of near-identical
+	// learned profiles).
+	DistinctPlans int
+	// PerEpoch is the fleet-level convergence curve.
+	PerEpoch []FleetEpoch
+	// Stats is the fleet's final counter state.
+	Stats FleetStats
+}
+
+// SimulateFleet closes the loop between the simulator and the fleet
+// serving layer: it builds a fleet over the base scenario, synthesizes
+// a heterogeneous population of per-node ground truths (diverse
+// rush-hour shapes and mobility mixes; WithDrift adds mid-run pattern
+// shifts), and co-simulates them — every probed contact a node's DES
+// produces feeds Fleet.Observe, and the schedule the fleet serves from
+// that evidence is the plan the node flies in its next epoch. Each node
+// also runs against its oracle (the same strategy's plan for its true
+// scenario, over the identical contact stream), giving per-epoch
+// convergence curves toward near-oracle energy and goodput.
+//
+// The mechanism (or a WithStrategy override) is the fleet's default
+// strategy; WithNodes sizes the population; WithEpochs, WithSeed, and
+// WithParallelism work as in Simulate. Output is deterministic for a
+// fixed seed and bit-identical for every parallelism. WithWarmup and
+// WithPatternShift do not apply (drift is a population property — use
+// WithDrift) and are rejected.
+func SimulateFleet(s *Scenario, m Mechanism, opts ...SimOption) (*FleetSimSummary, error) {
+	if s == nil || s.inner == nil {
+		return nil, errors.New("rushprobe: nil scenario")
+	}
+	o := simOpts{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.warmupSet || o.shiftSet {
+		return nil, errors.New("rushprobe: SimulateFleet takes no WithWarmup or WithPatternShift; population drift is configured with WithDrift")
+	}
+	// An explicit zero must not silently become the default.
+	if o.nodesSet && o.nodes < 1 {
+		return nil, fmt.Errorf("rushprobe: population must be positive, got WithNodes(%d)", o.nodes)
+	}
+	if o.epochsSet && o.epochs < 1 {
+		return nil, fmt.Errorf("rushprobe: epochs must be positive, got WithEpochs(%d)", o.epochs)
+	}
+	name := string(m)
+	switch len(o.strategies) {
+	case 0:
+	case 1:
+		name = o.strategies[0]
+	default:
+		return nil, fmt.Errorf("rushprobe: a fleet serves one default strategy; got %d WithStrategy options", len(o.strategies))
+	}
+	spec := fleetsim.Spec{
+		Base:        s.inner,
+		Nodes:       o.nodes,
+		Epochs:      o.epochs,
+		Strategy:    name,
+		Seed:        o.seed,
+		Parallelism: o.parallelism,
+	}
+	if o.driftSet {
+		spec.DriftFraction = o.driftFraction
+		spec.DriftEpoch = o.driftEpoch
+		spec.DriftSlots = o.driftSlots
+	}
+	res, err := fleetsim.Simulate(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &FleetSimSummary{
+		Strategy:      res.Strategy,
+		Nodes:         res.Nodes,
+		Epochs:        res.Epochs,
+		DriftNodes:    res.DriftNodes,
+		DistinctPlans: res.DistinctPlans,
+		PerEpoch:      make([]FleetEpoch, len(res.PerEpoch)),
+		Stats:         res.Stats,
+	}
+	for i, p := range res.PerEpoch {
+		out.PerEpoch[i] = FleetEpoch{
+			Epoch:      p.Epoch,
+			Zeta:       p.Zeta,
+			Phi:        p.Phi,
+			OracleZeta: p.OracleZeta,
+			OraclePhi:  p.OraclePhi,
+			ZetaRatio:  p.ZetaRatio(),
+			PhiRatio:   p.PhiRatio(),
+		}
+	}
+	return out, nil
+}

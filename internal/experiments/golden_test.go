@@ -25,6 +25,7 @@ var slowGoldenIDs = map[string]bool{
 	"ext-loss":       true,
 	"ext-rl":         true,
 	"ext-shift":      true,
+	"ext-fleet":      true,
 }
 
 // TestGoldenTables regenerates every registered experiment and compares

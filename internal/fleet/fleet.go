@@ -55,10 +55,15 @@ type Observation struct {
 	// Length is the contact length in seconds.
 	Length float64 `json:"length"`
 	// Uploaded is the data volume delivered during the contact in bytes.
-	// Negative means unknown; zero is a legitimate observation (a
-	// contact probed with an empty buffer).
+	// UploadedUnknown (-1) means unknown; zero is a legitimate
+	// observation (a contact probed with an empty buffer). Any other
+	// negative or non-finite value marks the whole observation invalid.
 	Uploaded float64 `json:"uploaded"`
 }
+
+// UploadedUnknown is the Uploaded sentinel for "the node did not report
+// an upload amount" (also what an absent JSON field decodes to).
+const UploadedUnknown = -1
 
 // UnmarshalJSON decodes an observation, distinguishing an absent
 // "uploaded" field (unknown, -1) from an explicit zero.
@@ -77,7 +82,7 @@ func (o *Observation) UnmarshalJSON(data []byte) error {
 	o.Time = w.Time
 	o.Length = w.Length
 	if w.Uploaded == nil {
-		o.Uploaded = -1
+		o.Uploaded = UploadedUnknown
 	} else {
 		o.Uploaded = *w.Uploaded
 	}
@@ -195,6 +200,15 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// validUpload reports whether an Observation.Uploaded value is
+// acceptable at ingest: the UploadedUnknown sentinel, or a finite
+// non-negative byte count within the sanity bound. NaN in particular
+// must be rejected here — it slips through ordinary comparisons (every
+// compare is false) and would poison the upload EWMA permanently.
+func validUpload(v float64) bool {
+	return v == UploadedUnknown || (isFinite(v) && v >= 0 && v <= maxUploadedBytes)
+}
 
 // Schedule is a served probing plan: the per-slot duty cycles of one
 // mechanism together with the plan's analytical outcome. Schedules are
@@ -316,7 +330,8 @@ func (f *Fleet) shardOf(node string) *shard { return &f.shards[f.shardIndex(node
 // Observe folds a batch of contact observations into the fleet and
 // returns how many were accepted. Invalid observations (empty node ID,
 // non-finite or negative time, non-positive length, a length longer
-// than the epoch, an absurd upload) and stale ones (earlier than an
+// than the epoch, an upload that is absurd, NaN, or negative without
+// being the UploadedUnknown sentinel) and stale ones (earlier than an
 // epoch the node has already folded) are counted in Stats and skipped;
 // ingest never fails, so a misbehaving node cannot wedge the batch —
 // or poison the learned state with values that overflow the EWMAs. The
@@ -327,7 +342,7 @@ func (f *Fleet) Observe(batch []Observation) int {
 		o := &batch[i]
 		if o.Node == "" || !(o.Time >= 0) || o.Time > maxObservationTime ||
 			!(o.Length > 0) || o.Length > f.epochSeconds ||
-			o.Uploaded > maxUploadedBytes {
+			!validUpload(o.Uploaded) {
 			f.invalid.Add(1)
 			continue
 		}
@@ -346,17 +361,10 @@ func (f *Fleet) Observe(batch []Observation) int {
 	return accepted
 }
 
-// fold applies one valid observation to a profile. Epoch boundaries
-// crossed since the node's last observation are folded into the learner
-// in order, so ingest is deterministic in batch order.
-func (f *Fleet) fold(p *profile, o *Observation) bool {
-	at := simtime.Instant(o.Time)
-	e := f.clk.EpochIndex(at)
-	if e < p.epoch {
-		p.stale++
-		f.stale.Add(1)
-		return false
-	}
+// advanceTo folds the epoch boundaries between the profile's current
+// epoch and e (exclusive) into the learner, in order. Callers hold the
+// shard lock and guarantee e >= p.epoch.
+func (f *Fleet) advanceTo(p *profile, e int) {
 	if gap := e - p.epoch; gap > f.cfg.MaxEpochSkip {
 		// The node was silent long enough that every EWMA has decayed to
 		// its floor; folding more empty epochs changes nothing.
@@ -370,6 +378,20 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 			p.epoch++
 		}
 	}
+}
+
+// fold applies one valid observation to a profile. Epoch boundaries
+// crossed since the node's last observation are folded into the learner
+// in order, so ingest is deterministic in batch order.
+func (f *Fleet) fold(p *profile, o *Observation) bool {
+	at := simtime.Instant(o.Time)
+	e := f.clk.EpochIndex(at)
+	if e < p.epoch {
+		p.stale++
+		f.stale.Add(1)
+		return false
+	}
+	f.advanceTo(p, e)
 	p.learner.ObserveContact(f.clk.SlotIndex(at), o.Length)
 	p.length.Observe(o.Length)
 	if o.Uploaded >= 0 {
@@ -381,13 +403,46 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 	return true
 }
 
+// AdvanceEpoch is the deterministic clock hook for co-simulation: it
+// tells the fleet that the node has reached the start of the given
+// epoch, folding every completed epoch boundary since the node's last
+// report into its learner — including empty epochs that produced no
+// observations, which pure observation-driven ingest can never fold
+// (a silent node would otherwise sit in bootstrap forever). Long gaps
+// are capped at MaxEpochSkip like ingest. Advancing is an explicit
+// write: it admits an unknown node into the store. Epochs the node has
+// already folded are a no-op, so the hook is idempotent per boundary.
+func (f *Fleet) AdvanceEpoch(node string, epoch int) error {
+	if node == "" {
+		return errors.New("fleet: empty node ID")
+	}
+	if epoch < 0 {
+		return fmt.Errorf("fleet: negative epoch %d", epoch)
+	}
+	sh := f.shardOf(node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.nodes[node]
+	if p == nil {
+		p = f.newProfile(node)
+		sh.nodes[node] = p
+	}
+	if epoch <= p.epoch {
+		return nil
+	}
+	f.advanceTo(p, epoch)
+	p.sched = nil
+	return nil
+}
+
 // Schedule returns the probing plan currently in force for the node. A
 // node that has never reported (or is still inside its bootstrap
 // window) receives the shared bootstrap SNIP-AT plan, so a cold node is
 // always servable. Serving never creates state: only the explicit
-// write operations — Observe and SetStrategy — admit nodes into the
-// store, so schedule and profile reads for made-up IDs cannot grow
-// memory. The returned Schedule is shared and must not be modified.
+// write operations — Observe, SetStrategy, and AdvanceEpoch — admit
+// nodes into the store, so schedule and profile reads for made-up IDs
+// cannot grow memory. The returned Schedule is shared and must not be
+// modified.
 func (f *Fleet) Schedule(node string) (*Schedule, error) {
 	if node == "" {
 		return nil, errors.New("fleet: empty node ID")
@@ -424,6 +479,23 @@ func (f *Fleet) Schedule(node string) (*Schedule, error) {
 	}
 	p.sched = sched
 	return sched, nil
+}
+
+// ScheduleBatch returns the probing plan currently in force for each
+// node, in input order — the batch-serving hook co-simulation and bulk
+// exporters use. It fails on the first unservable node, identifying it;
+// partial results are discarded. Like Schedule, serving never creates
+// state, and the returned Schedules are shared and immutable.
+func (f *Fleet) ScheduleBatch(nodes []string) ([]*Schedule, error) {
+	out := make([]*Schedule, len(nodes))
+	for i, node := range nodes {
+		s, err := f.Schedule(node)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: schedule for node %q: %w", node, err)
+		}
+		out[i] = s
+	}
+	return out, nil
 }
 
 // SetStrategy sets the strategy serving the node's schedule from the

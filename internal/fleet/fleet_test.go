@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -223,6 +224,47 @@ func TestObserveRejectsGarbage(t *testing.T) {
 	}
 	if st := f.Stats(); st.Invalid != int64(len(bad)) {
 		t.Fatalf("Invalid = %d, want %d", st.Invalid, len(bad))
+	}
+}
+
+// TestObserveRejectsNaNAndNegativeUploads: NaN slips through both the
+// `> maxUploadedBytes` ingest guard and the `< 0` guard in
+// learn.UploadAmount.Observe (every NaN comparison is false), after
+// which `value += alpha*(v-value)` turns the upload EWMA into NaN
+// forever. Negative uploads other than the UploadedUnknown sentinel are
+// garbage too. Both must be counted invalid and leave the learned
+// threshold finite.
+func TestObserveRejectsNaNAndNegativeUploads(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	bad := []Observation{
+		{Node: "n", Time: 0, Length: 2, Uploaded: math.NaN()},
+		{Node: "n", Time: 1, Length: 2, Uploaded: -7.5},
+	}
+	if got := f.Observe(bad); got != 0 {
+		t.Fatalf("accepted %d poisonous observations", got)
+	}
+	if st := f.Stats(); st.Invalid != int64(len(bad)) {
+		t.Fatalf("Invalid = %d, want %d", st.Invalid, len(bad))
+	}
+	// Legitimate traffic after the attack: the upload estimator must
+	// still converge on real values, not sit at NaN.
+	f.Observe([]Observation{
+		{Node: "n", Time: 2, Length: 2, Uploaded: 512},
+		{Node: "n", Time: 3, Length: 2, Uploaded: UploadedUnknown},
+	})
+	prof, err := f.Profile("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isFinite(prof.UploadThreshold) {
+		t.Fatalf("upload threshold poisoned: %v", prof.UploadThreshold)
+	}
+	if prof.Observations != 2 {
+		t.Fatalf("accepted %d observations, want the 2 legitimate ones", prof.Observations)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("snapshot must survive NaN uploads: %v", err)
 	}
 }
 
@@ -491,5 +533,147 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("config %d accepted: %+v", i, cfg)
 		}
+	}
+}
+
+// TestRestoreRejectsUnregisteredStrategy pins graceful behavior when a
+// snapshot names a strategy this binary does not register (say, a
+// custom scheme compiled into the daemon that wrote the snapshot):
+// Restore must fail with a clear error, never panic or leave a node
+// whose serve-time lookup would fail — and because Restore is
+// all-or-nothing, the fleet's previous state must keep serving.
+func TestRestoreRejectsUnregisteredStrategy(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	f.Observe(syntheticDays("keeper", 4, 10, 2.0))
+	if _, err := f.SetStrategy("keeper", MechanismRH); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Nodes) != 1 || snap.Nodes[0].Strategy != MechanismRH {
+		t.Fatalf("snapshot did not capture the strategy override: %+v", snap.Nodes)
+	}
+	snap.Nodes[0].Strategy = "EXT-SCHEME-NOT-COMPILED-IN"
+	err := f.Restore(&snap)
+	if err == nil {
+		t.Fatal("restore accepted a snapshot naming an unregistered strategy")
+	}
+	if !strings.Contains(err.Error(), "unknown strategy") || !strings.Contains(err.Error(), "keeper") {
+		t.Fatalf("error %q should name the unknown strategy and the node", err)
+	}
+	// The failed restore must not have touched the live state: the node
+	// still serves its learned RH schedule.
+	s, err := f.Schedule("keeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Mechanism != MechanismRH {
+		t.Fatalf("pre-restore state lost: schedule %+v", s)
+	}
+}
+
+// TestAdvanceEpochFoldsSilentEpochs: the co-simulation clock hook must
+// graduate a node out of bootstrap even when it observes nothing (pure
+// observation-driven ingest can never fold an empty epoch), stay
+// idempotent per boundary, reject garbage, and admit unknown nodes as
+// an explicit write.
+func TestAdvanceEpochFoldsSilentEpochs(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	if err := f.AdvanceEpoch("", 1); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	if err := f.AdvanceEpoch("n", -1); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	if err := f.AdvanceEpoch("quiet", 4); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := f.Profile("quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Epochs != 4 {
+		t.Fatalf("folded %d epochs, want 4", prof.Epochs)
+	}
+	if prof.Bootstrapping {
+		t.Fatal("node still bootstrapping after 4 folded epochs")
+	}
+	// Re-advancing to an already-folded epoch is a no-op.
+	if err := f.AdvanceEpoch("quiet", 2); err != nil {
+		t.Fatal(err)
+	}
+	if prof, _ = f.Profile("quiet"); prof.Epochs != 4 {
+		t.Fatalf("rewind changed epoch count to %d", prof.Epochs)
+	}
+	// Long silences cap at MaxEpochSkip like ingest.
+	if err := f.AdvanceEpoch("quiet", 100000); err != nil {
+		t.Fatal(err)
+	}
+	if prof, _ = f.Profile("quiet"); prof.Epochs != 4+f.cfg.MaxEpochSkip {
+		t.Fatalf("folded %d epochs, want %d", prof.Epochs, 4+f.cfg.MaxEpochSkip)
+	}
+}
+
+// TestAdvanceEpochInvalidatesServedPlan: advancing folds learner state,
+// so a cached per-node schedule must not outlive it.
+func TestAdvanceEpochInvalidatesServedPlan(t *testing.T) {
+	f := newTestFleet(t, Config{BootstrapEpochs: 1})
+	f.Observe(syntheticDays("n", 1, 10, 2.0)) // epoch 0 observations only
+	if err := f.AdvanceEpoch("n", 1); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := f.Schedule("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Mechanism == MechanismAT {
+		t.Fatal("node should have graduated after one folded epoch")
+	}
+	// One busier epoch later the learned plan must be re-derived.
+	f.Observe(syntheticDays("n2", 2, 40, 2.0)) // unrelated traffic
+	obs := syntheticDays("n", 2, 40, 2.0)[len(syntheticDays("n", 1, 40, 2.0)):]
+	f.Observe(obs)
+	if err := f.AdvanceEpoch("n", 2); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.Schedule("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Fingerprint == s1.Fingerprint {
+		t.Fatal("served plan not invalidated by AdvanceEpoch")
+	}
+}
+
+// TestScheduleBatchServesInOrder: the batch hook returns one schedule
+// per input node in input order, serves cold nodes the bootstrap plan,
+// and fails loudly on unservable IDs.
+func TestScheduleBatchServesInOrder(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	f.Observe(syntheticDays("warm", 4, 10, 2.0))
+	scheds, err := f.ScheduleBatch([]string{"warm", "cold", "warm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 3 {
+		t.Fatalf("got %d schedules, want 3", len(scheds))
+	}
+	if scheds[0].Mechanism != MechanismOPT || scheds[2].Mechanism != MechanismOPT {
+		t.Fatalf("warm node served %s/%s, want %s", scheds[0].Mechanism, scheds[2].Mechanism, MechanismOPT)
+	}
+	if scheds[1].Mechanism != MechanismAT {
+		t.Fatalf("cold node served %s, want bootstrap %s", scheds[1].Mechanism, MechanismAT)
+	}
+	if scheds[0] != scheds[2] {
+		t.Fatal("identical nodes must share the served schedule")
+	}
+	if _, err := f.ScheduleBatch([]string{"warm", ""}); err == nil {
+		t.Fatal("batch with an empty node ID must fail")
 	}
 }

@@ -1,0 +1,36 @@
+package fleetsim
+
+import (
+	"testing"
+
+	"rushprobe/internal/scenario"
+)
+
+// BenchmarkFleetSim1k is the scale acceptance of the closed loop: a
+// 1000-node heterogeneous population co-simulated for 10 epochs
+// (closed-loop pass plus oracle pass per node) must complete in under
+// 30 s on a single core. Run it serially (Parallelism 1) so the number
+// is a per-core cost; multi-core machines divide it by the worker
+// count (`make bench-fleetsim`).
+func BenchmarkFleetSim1k(b *testing.B) {
+	spec := Spec{
+		Base:          scenario.Roadside(),
+		Nodes:         1000,
+		Epochs:        10,
+		Seed:          1,
+		Parallelism:   1,
+		DriftFraction: 0.25,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.PerEpoch[len(res.PerEpoch)-1]
+			b.ReportMetric(last.ZetaRatio(), "zeta_vs_oracle")
+			b.ReportMetric(float64(res.Stats.PlanSolves), "plan_solves")
+		}
+	}
+}

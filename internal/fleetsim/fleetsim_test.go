@@ -1,0 +1,256 @@
+package fleetsim
+
+import (
+	"reflect"
+	"testing"
+
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/strategy"
+)
+
+// smokeSpec is a small population that exercises every moving part
+// (bootstrap, learned plans, drift, plan-cache sharing) in well under a
+// second — the race-clean CI smoke.
+func smokeSpec() Spec {
+	return Spec{
+		Base:          scenario.Roadside(),
+		Nodes:         12,
+		Epochs:        6,
+		Seed:          1,
+		DriftFraction: 0.25,
+		DriftEpoch:    3,
+	}
+}
+
+// TestSimulateParallelMatchesSerial is the determinism contract: the
+// co-simulation's output — convergence curves, drift counts, plan-cache
+// counters, everything — must be bit-identical for any parallelism.
+func TestSimulateParallelMatchesSerial(t *testing.T) {
+	serial := smokeSpec()
+	serial.Parallelism = 1
+	parallel := smokeSpec()
+	parallel.Parallelism = 4
+	a, err := Simulate(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel co-simulation differs from serial:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+// TestClosedLoopConvergesTowardOracle pins the experiment's core claim:
+// during bootstrap the fleet serves the low-duty SNIP-AT plan and the
+// population undershoots its oracle badly; once learned plans take
+// over, fleet-level goodput climbs toward the oracle's.
+func TestClosedLoopConvergesTowardOracle(t *testing.T) {
+	spec := smokeSpec()
+	spec.Nodes = 16
+	spec.Epochs = 8
+	spec.DriftFraction = 0 // isolate convergence from drift
+	res, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != strategy.NameOPT {
+		t.Fatalf("default strategy = %s, want %s", res.Strategy, strategy.NameOPT)
+	}
+	if len(res.PerEpoch) != spec.Epochs {
+		t.Fatalf("got %d epoch points, want %d", len(res.PerEpoch), spec.Epochs)
+	}
+	boot, learned := 0.0, 0.0
+	for e, p := range res.PerEpoch {
+		if p.OracleZeta <= 0 {
+			t.Fatalf("epoch %d: oracle probed nothing", e)
+		}
+		if e < 3 { // fleet default bootstrap
+			boot += p.ZetaRatio()
+		} else {
+			learned += p.ZetaRatio()
+		}
+	}
+	boot /= 3
+	learned /= float64(spec.Epochs - 3)
+	if learned <= boot {
+		t.Fatalf("learned plans do not improve on bootstrap: ratio %.3f (learned) <= %.3f (bootstrap)", learned, boot)
+	}
+	if learned < 0.6 {
+		t.Fatalf("converged goodput only %.3f of oracle, want >= 0.6", learned)
+	}
+	// Served plans respect the fleet budget: realized probing energy may
+	// jitter around the plan's expectation but not blow past it.
+	for _, p := range res.PerEpoch {
+		if p.Phi > spec.Base.PhiMax*1.05 {
+			t.Fatalf("epoch %d spends %.2f s, budget %.2f s", p.Epoch, p.Phi, spec.Base.PhiMax)
+		}
+	}
+	if res.Stats.Observations == 0 {
+		t.Fatal("closed loop fed no observations into the fleet")
+	}
+	if res.Stats.Invalid != 0 || res.Stats.Stale != 0 {
+		t.Fatalf("closed loop produced invalid/stale observations: %+v", res.Stats)
+	}
+	if res.DistinctPlans == 0 || res.DistinctPlans > spec.Nodes {
+		t.Fatalf("DistinctPlans = %d out of (0, %d]", res.DistinctPlans, spec.Nodes)
+	}
+}
+
+// TestPopulationIsDeterministicAndHeterogeneous: node i's ground truth
+// depends only on (Seed, i), and the population is genuinely diverse.
+func TestPopulationIsDeterministicAndHeterogeneous(t *testing.T) {
+	spec, err := smokeSpec().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := spec.nodeWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.nodeWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.sc, b.sc) {
+		t.Fatal("nodeWorld is not deterministic in (Seed, index)")
+	}
+	masks := make(map[string]bool)
+	for i := 0; i < 32; i++ {
+		w, err := spec.nodeWorld(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ""
+		for _, s := range w.sc.Slots {
+			if s.RushHour {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		masks[key] = true
+		if w.sc.PhiMax != spec.Base.PhiMax || w.sc.ZetaTarget != spec.Base.ZetaTarget {
+			t.Fatalf("node %d does not inherit the base budget/target", i)
+		}
+	}
+	// Environment knobs on the base must reach every node's ground
+	// truth — a lossy base population must actually be lossy.
+	lossySpec := spec.withLossyBase()
+	lossy, err := lossySpec.nodeWorld(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.sc.BeaconLossProb != 0.5 {
+		t.Fatalf("node does not inherit the base beacon loss: got %g", lossy.sc.BeaconLossProb)
+	}
+	if len(masks) < 4 {
+		t.Fatalf("population has only %d distinct rush-hour shapes, want >= 4", len(masks))
+	}
+}
+
+// withLossyBase returns the spec over a base with 50% beacon loss.
+func (s Spec) withLossyBase() Spec {
+	s.Base = scenario.Roadside(scenario.WithBeaconLoss(0.5))
+	return s
+}
+
+// TestRotatedMatchesShiftSemantics: the oracle's post-drift scenario
+// must describe exactly what the contact generator produces under a
+// slot shift of k — wall slot i behaves like nominal slot (i+k) mod n.
+func TestRotatedMatchesShiftSemantics(t *testing.T) {
+	sc := scenario.Roadside()
+	k := 3
+	rot := rotated(sc, k)
+	n := len(sc.Slots)
+	for i := range rot.Slots {
+		want := sc.Slots[(i+k)%n]
+		if rot.Slots[i].RushHour != want.RushHour {
+			t.Fatalf("rotated slot %d rush=%v, want nominal slot %d's %v", i, rot.Slots[i].RushHour, (i+k)%n, want.RushHour)
+		}
+	}
+	if err := rot.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixedTwinPreservesMeans: the oracle plans on exact means.
+func TestFixedTwinPreservesMeans(t *testing.T) {
+	sc := scenario.Roadside()
+	twin := fixedTwin(sc)
+	for i, s := range twin.Slots {
+		if got, want := s.Interval.Mean(), sc.Slots[i].Interval.Mean(); got != want {
+			t.Fatalf("slot %d interval mean %v, want %v", i, got, want)
+		}
+		if got, want := s.Length.Mean(), sc.Slots[i].Length.Mean(); got != want {
+			t.Fatalf("slot %d length mean %v, want %v", i, got, want)
+		}
+	}
+	if err := twin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDriftedNodesGetReplannedOracle: with drift on, some nodes drift
+// and their count is deterministic and reported.
+func TestDriftedNodesGetReplannedOracle(t *testing.T) {
+	spec := smokeSpec()
+	spec.DriftFraction = 1 // every node drifts
+	res, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DriftNodes != spec.Nodes {
+		t.Fatalf("DriftNodes = %d, want %d (DriftFraction 1)", res.DriftNodes, spec.Nodes)
+	}
+}
+
+// TestSpecValidation rejects unusable specs loudly.
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{},                                      // no base
+		{Base: scenario.Roadside(), Nodes: -1},  // negative population
+		{Base: scenario.Roadside(), Epochs: -2}, // negative horizon
+		{Base: scenario.Roadside(), Strategy: "?"}, // unknown strategy
+		{Base: scenario.Roadside(), DriftFraction: 1.5},
+		{Base: scenario.Roadside(), DriftEpoch: -4},
+		{Base: scenario.Roadside(), WakeInterval: -1},
+	}
+	for i, spec := range cases {
+		if _, err := Simulate(spec); err == nil {
+			t.Fatalf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+// TestStrategyAxis: the co-simulation serves any registered strategy,
+// and the fleet reports the canonical name.
+func TestStrategyAxis(t *testing.T) {
+	spec := smokeSpec()
+	spec.Nodes = 4
+	spec.Epochs = 5
+	spec.Strategy = "rh" // alias for SNIP-RH
+	res, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != strategy.NameRH {
+		t.Fatalf("strategy = %s, want %s", res.Strategy, strategy.NameRH)
+	}
+}
+
+// TestDriftPastHorizonRejected: a drift that can never fire must be a
+// spec error, not a silently wrong DriftNodes count.
+func TestDriftPastHorizonRejected(t *testing.T) {
+	spec := smokeSpec()
+	spec.DriftEpoch = spec.Epochs // first epoch that never starts
+	if _, err := Simulate(spec); err == nil {
+		t.Fatal("drift epoch past the horizon accepted")
+	}
+	spec.DriftFraction = 0 // without drift the epoch is inert
+	if _, err := Simulate(spec); err != nil {
+		t.Fatal(err)
+	}
+}

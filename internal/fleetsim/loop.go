@@ -1,0 +1,148 @@
+package fleetsim
+
+import (
+	"rushprobe/internal/core"
+	"rushprobe/internal/fleet"
+	"rushprobe/internal/simtime"
+	"rushprobe/internal/strategy"
+)
+
+// nodeLoop closes the loop for one node: it executes whatever duty plan
+// the fleet currently serves the node, buffers the probed contacts the
+// DES reports through the OnProbe tap, and at every epoch boundary
+// flushes them into Fleet.Observe, advances the fleet's epoch clock,
+// and fetches the next plan — so the plan in force at epoch e is the
+// one the fleet learned from epochs < e, never from the epoch being
+// simulated.
+type nodeLoop struct {
+	fleet    *fleet.Fleet
+	id       string
+	phiMax   float64
+	strategy string
+
+	duty    []float64
+	pending []fleet.Observation
+	err     error
+}
+
+// Name reports the strategy the fleet serves this node.
+func (l *nodeLoop) Name() string { return l.strategy }
+
+// Decide follows the served per-slot plan under the epoch energy
+// budget, exactly like an OPT follower: the node is thin, all learning
+// lives in the fleet.
+func (l *nodeLoop) Decide(state core.NodeState) core.Decision {
+	if state.Slot < 0 || state.Slot >= len(l.duty) {
+		return core.Decision{}
+	}
+	d := l.duty[state.Slot]
+	if d <= 0 {
+		return core.Decision{}
+	}
+	if l.phiMax > 0 && state.EpochProbingOnTime >= l.phiMax {
+		return core.Decision{}
+	}
+	return core.Decision{Active: true, Duty: d}
+}
+
+// OnContactProbed is a no-op: observations flow through the simulator's
+// OnProbe tap (which carries the probe instant the fleet needs).
+func (l *nodeLoop) OnContactProbed(core.ProbeInfo) {}
+
+// OnEpochStart is the closed-loop heartbeat: report the finished
+// epoch's probed contacts, advance the fleet's epoch clock for this
+// node, and adopt the schedule the fleet now serves. Errors latch (the
+// loop keeps flying the last served plan) and fail the node's run
+// afterward.
+func (l *nodeLoop) OnEpochStart(epoch int) {
+	if l.err != nil {
+		return
+	}
+	l.flush()
+	if err := l.fleet.AdvanceEpoch(l.id, epoch); err != nil {
+		l.err = err
+		return
+	}
+	sched, err := l.fleet.Schedule(l.id)
+	if err != nil {
+		l.err = err
+		return
+	}
+	l.duty = sched.Duty
+}
+
+// onProbe is the sim.Config.OnProbe tap: one probed contact becomes one
+// fleet observation, stamped with the probe instant.
+func (l *nodeLoop) onProbe(at simtime.Instant, info core.ProbeInfo) {
+	l.pending = append(l.pending, fleet.Observation{
+		Node:     l.id,
+		Time:     at.Seconds(),
+		Length:   info.ContactLength,
+		Uploaded: info.UploadedBytes,
+	})
+}
+
+// flush reports any buffered observations to the fleet.
+func (l *nodeLoop) flush() {
+	if len(l.pending) == 0 {
+		return
+	}
+	l.fleet.Observe(l.pending)
+	l.pending = l.pending[:0]
+}
+
+// finish flushes the final epoch's observations and advances the fleet
+// past it, so the fleet's end state reflects the whole run (the DES
+// stops exactly at the horizon, before the next boundary would fire).
+func (l *nodeLoop) finish(epochs int) error {
+	if l.err != nil {
+		return l.err
+	}
+	l.flush()
+	return l.fleet.AdvanceEpoch(l.id, epochs)
+}
+
+// oracleLoop follows the plan an omniscient scheduler would fly: the
+// strategy's plan for the node's true scenario, swapped for the
+// post-drift plan the moment the pattern shifts. It is the per-node
+// upper bound the closed loop's convergence is measured against.
+type oracleLoop struct {
+	active   core.Scheduler
+	pre      core.Scheduler
+	post     core.Scheduler // nil when the node's pattern is stable
+	switchAt int
+}
+
+// newOracleLoop builds followers for the pre- and post-drift plans.
+func newOracleLoop(pre, post *strategy.Plan, switchAt int, phiMax float64) (*oracleLoop, error) {
+	preSched, err := strategy.FollowPlan(pre, phiMax)
+	if err != nil {
+		return nil, err
+	}
+	o := &oracleLoop{active: preSched, pre: preSched, switchAt: switchAt}
+	if post != nil {
+		postSched, err := strategy.FollowPlan(post, phiMax)
+		if err != nil {
+			return nil, err
+		}
+		o.post = postSched
+	}
+	return o, nil
+}
+
+// Name reports the followed plan's strategy.
+func (o *oracleLoop) Name() string { return o.pre.Name() }
+
+// Decide delegates to the plan currently in force.
+func (o *oracleLoop) Decide(state core.NodeState) core.Decision { return o.active.Decide(state) }
+
+// OnContactProbed delegates (followers ignore it).
+func (o *oracleLoop) OnContactProbed(info core.ProbeInfo) { o.active.OnContactProbed(info) }
+
+// OnEpochStart swaps in the post-drift plan at the drift epoch.
+func (o *oracleLoop) OnEpochStart(epoch int) {
+	if o.post != nil && epoch >= o.switchAt {
+		o.active = o.post
+	}
+	o.active.OnEpochStart(epoch)
+}

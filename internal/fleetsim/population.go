@@ -1,0 +1,181 @@
+package fleetsim
+
+import (
+	"fmt"
+
+	"rushprobe/internal/contact"
+	"rushprobe/internal/dist"
+	"rushprobe/internal/rng"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/simtime"
+)
+
+// mobilityClass is one of the population's mobility mixes: a template
+// for where a node's rush hours sit inside the epoch and how sharp the
+// rush/off-peak contrast is.
+type mobilityClass int
+
+const (
+	// classCommuter is the paper's road-side shape: two rush windows
+	// (morning and evening commute).
+	classCommuter mobilityClass = iota
+	// classDelivery has a single wide midday window (a delivery round
+	// passing the node repeatedly around noon).
+	classDelivery
+	// classNight has its busy window across the midnight wrap (a patrol
+	// or freight route).
+	classNight
+	// classLowContrast is a commuter shape whose rush hours are only
+	// mildly busier than the rest of the day — the hardest population
+	// for a rush-hour learner.
+	classLowContrast
+)
+
+// window is a busy period as fractions of the epoch, [From, To); To may
+// exceed 1 to wrap past the epoch boundary.
+type window struct{ From, To float64 }
+
+// classWindows returns the busy windows of a mobility class.
+func classWindows(c mobilityClass) []window {
+	switch c {
+	case classDelivery:
+		return []window{{10.0 / 24, 14.0 / 24}}
+	case classNight:
+		return []window{{22.0 / 24, 25.0 / 24}}
+	default: // commuter shapes
+		return []window{{7.0 / 24, 9.0 / 24}, {17.0 / 24, 19.0 / 24}}
+	}
+}
+
+// world is one node's ground truth: its contact-process scenario, the
+// optional mid-run pattern drift, and the wall-clock truth after the
+// drift (what an omniscient oracle would re-plan for).
+type world struct {
+	sc *scenario.Scenario
+	// shift displaces the mobility pattern from the drift epoch onward;
+	// nil when the node's pattern is stable.
+	shift contact.ShiftFunc
+	// shifted is the post-drift wall-clock scenario (nil without drift).
+	shifted *scenario.Scenario
+}
+
+// nodeWorld synthesizes node i's ground truth from the population spec.
+// Every random draw comes from a stream derived from (Seed, i) in a
+// fixed order, so the population is identical for any parallelism and
+// any subset of nodes simulated.
+func (s *Spec) nodeWorld(i int) (*world, error) {
+	base := s.Base
+	n := len(base.Slots)
+	r := rng.DeriveN(s.Seed, "fleetsim-population", i)
+
+	// Draw order is part of the determinism contract: class, window
+	// offset, intervals, contact length, drift coin.
+	var class mobilityClass
+	switch u := r.Float64(); {
+	case u < 0.45:
+		class = classCommuter
+	case u < 0.65:
+		class = classDelivery
+	case u < 0.80:
+		class = classNight
+	default:
+		class = classLowContrast
+	}
+	maxOff := n / 12 // ±2 slots on the 24-slot day
+	off := 0
+	if maxOff > 0 {
+		off = r.Intn(2*maxOff+1) - maxOff
+	}
+	rushInterval := r.Jitter(300, 0.3)
+	otherInterval := r.Jitter(1800, 0.3)
+	if class == classLowContrast {
+		otherInterval = 3 * rushInterval
+	}
+	meanLen := r.Jitter(2, 0.25)
+	drifts := s.DriftFraction > 0 && r.Float64() < s.DriftFraction
+
+	busy := make([]bool, n)
+	for _, w := range classWindows(class) {
+		lo := int(w.From*float64(n)) + off
+		hi := int(w.To*float64(n)) + off
+		for j := lo; j < hi; j++ {
+			busy[((j%n)+n)%n] = true
+		}
+	}
+	slots := make([]scenario.Slot, n)
+	for j := range slots {
+		interval := otherInterval
+		if busy[j] {
+			interval = rushInterval
+		}
+		slots[j] = scenario.Slot{
+			Interval: dist.NormalTenth(interval),
+			Length:   dist.NormalTenth(meanLen),
+			RushHour: busy[j],
+		}
+	}
+	// Everything but the name and the synthesized slots is inherited
+	// from the base deployment — including the environment knobs
+	// (beacon loss, group arrivals, buffer cap, contention), so
+	// e.g. `snipsim -fleet -loss 0.5` stresses the whole population.
+	sc := &scenario.Scenario{}
+	*sc = *base
+	sc.Name = fmt.Sprintf("fleetsim-node-%04d", i)
+	sc.Slots = slots
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("fleetsim: node %d scenario: %w", i, err)
+	}
+	w := &world{sc: sc}
+	if drifts {
+		at := simtime.Instant(simtime.Duration(s.DriftEpoch) * base.Epoch)
+		by := s.DriftSlots
+		w.shift = func(now simtime.Instant) int {
+			if now.Before(at) {
+				return 0
+			}
+			return by
+		}
+		w.shifted = rotated(sc, by)
+	}
+	return w, nil
+}
+
+// fixedTwin returns the scenario an oracle plans for: the same
+// per-slot arrival rates, mean contact lengths, rush flags, and
+// budget/target, with every distribution collapsed to its mean
+// (dist.Fixed). The oracle's knowledge is exact — the twin carries the
+// true means, where the fleet's learned scenarios carry duty-cycle-
+// censored estimates — and both go through the identical fixed-dist
+// plan solver, so learned-vs-oracle gaps measure learning quality, not
+// solver quadrature differences. Fixed-dist solves also skip the
+// quadrature grid, which is what keeps a 1000-node oracle pass cheap.
+func fixedTwin(sc *scenario.Scenario) *scenario.Scenario {
+	out := *sc
+	out.Name = sc.Name + "+oracle"
+	out.Slots = make([]scenario.Slot, len(sc.Slots))
+	for i, s := range sc.Slots {
+		slot := scenario.Slot{RushHour: s.RushHour}
+		if s.Interval != nil {
+			slot.Interval = dist.Fixed{Value: s.Interval.Mean()}
+		}
+		if s.Length != nil {
+			slot.Length = dist.Fixed{Value: s.Length.Mean()}
+		}
+		out.Slots[i] = slot
+	}
+	return &out
+}
+
+// rotated returns the wall-clock scenario in force once the contact
+// generator applies a slot shift of k: wall slot i behaves like nominal
+// slot (i+k) mod n (see contact.ShiftFunc).
+func rotated(sc *scenario.Scenario, k int) *scenario.Scenario {
+	n := len(sc.Slots)
+	out := *sc
+	out.Name = sc.Name + "+drift"
+	out.Slots = make([]scenario.Slot, n)
+	for i := range out.Slots {
+		out.Slots[i] = sc.Slots[(((i+k)%n)+n)%n]
+	}
+	return &out
+}

@@ -40,9 +40,11 @@ func NewContactLength(prior float64) *ContactLength {
 // beacon), callers pass the best available estimate; SNIP can reconstruct
 // the full length because the mobile node reports when it entered range
 // in its beacon reply in most deployments, and otherwise the observed
-// tail is a conservative underestimate. Non-positive samples are ignored.
+// tail is a conservative underestimate. Non-positive and non-finite
+// samples are ignored (NaN passes a plain `<= 0` check and would
+// poison the EWMA permanently).
 func (c *ContactLength) Observe(length float64) {
-	if length <= 0 {
+	if !(length > 0) || math.IsInf(length, 0) {
 		return
 	}
 	c.ewma.Observe(length)
@@ -79,10 +81,11 @@ func NewUploadAmount(prior float64) *UploadAmount {
 }
 
 // Observe records the bytes uploaded in one probed contact. Negative
-// samples are ignored; zero is a legitimate observation (a contact probed
-// with an empty buffer).
+// and non-finite samples are ignored (NaN passes a plain `< 0` check
+// and would poison the EWMA permanently); zero is a legitimate
+// observation (a contact probed with an empty buffer).
 func (u *UploadAmount) Observe(bytes float64) {
-	if bytes < 0 {
+	if !(bytes >= 0) || math.IsInf(bytes, 0) {
 		return
 	}
 	u.ewma.Observe(bytes)
@@ -138,9 +141,10 @@ func NewRushHourLearner(slots, rushSlots int) (*RushHourLearner, error) {
 }
 
 // ObserveContact records a probed contact of the given capacity (seconds)
-// in the given slot of the current epoch.
+// in the given slot of the current epoch. Non-positive and non-finite
+// capacities are ignored.
 func (l *RushHourLearner) ObserveContact(slot int, capacity float64) {
-	if slot < 0 || slot >= l.slots || capacity <= 0 {
+	if slot < 0 || slot >= l.slots || !(capacity > 0) || math.IsInf(capacity, 0) {
 		return
 	}
 	l.epochCap[slot] += capacity

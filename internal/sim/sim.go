@@ -62,6 +62,14 @@ type Config struct {
 	// RNG sub-streams from (Seed, index) and the aggregate is folded in
 	// replication order.
 	Parallelism int
+	// OnProbe, when non-nil, observes every successfully probed contact
+	// at the instant it is probed, after the upload amount is known. It
+	// is the simulator's tap for closed-loop co-simulation (package
+	// fleetsim): the node's probed contacts stream out of the DES into
+	// an online learner while the run is in flight. The hook must not
+	// mutate simulator state; it fires before the scheduler's own
+	// OnContactProbed callback (which runs when the transfer completes).
+	OnProbe func(at simtime.Instant, info core.ProbeInfo)
 }
 
 func (c *Config) validate() error {
@@ -497,6 +505,9 @@ func (n *node) probe(now simtime.Instant, lc *liveContact) {
 	if uploadDur <= 0 {
 		// Nothing to send: treat like an ordinary on-period. Account a
 		// minimal on-time of Ton, then resume cycling.
+		if n.cfg.OnProbe != nil {
+			n.cfg.OnProbe(now, info)
+		}
 		ton := simtime.Duration(n.cfg.Scenario.Radio.Ton)
 		end := now.Add(ton)
 		n.uploading = true
@@ -517,6 +528,9 @@ func (n *node) probe(now simtime.Instant, lc *liveContact) {
 	got, meanLat := n.buf.drain(now, uploadedBytes)
 	uploadedBytes = got
 	info.UploadedBytes = got
+	if n.cfg.OnProbe != nil {
+		n.cfg.OnProbe(now, info)
+	}
 	n.cur.UploadedBytes += got
 	n.latencySum += meanLat * got
 	n.meter.TurnOn(now, radio.Transmitting, radio.Uploading)

@@ -335,17 +335,23 @@ func OptimalPlan(s *Scenario) (*Plan, error) {
 type SimOption func(*simOpts)
 
 type simOpts struct {
-	epochs       int
-	epochsSet    bool
-	warmup       int
-	warmupSet    bool
-	seed         uint64
-	seedSet      bool
-	shiftAtEpoch int
-	shiftBy      int
-	shiftSet     bool
-	parallelism  int
-	strategies   []string
+	epochs        int
+	epochsSet     bool
+	warmup        int
+	warmupSet     bool
+	seed          uint64
+	seedSet       bool
+	shiftAtEpoch  int
+	shiftBy       int
+	shiftSet      bool
+	parallelism   int
+	strategies    []string
+	nodes         int
+	nodesSet      bool
+	driftFraction float64
+	driftEpoch    int
+	driftSlots    int
+	driftSet      bool
 }
 
 // WithEpochs sets the number of simulated epochs (default 14, the
@@ -404,6 +410,29 @@ func WithPatternShift(atEpoch, bySlots int) SimOption {
 	}
 }
 
+// WithNodes sets the population size of a SimulateFleet co-simulation
+// (default 64). It applies only there; Simulate and SimulateReplications
+// model a single node and reject it.
+func WithNodes(n int) SimOption {
+	return func(o *simOpts) {
+		o.nodes = n
+		o.nodesSet = true
+	}
+}
+
+// WithDrift makes the given fraction of a SimulateFleet population (in
+// expectation) shift its mobility pattern by bySlots slots at atEpoch —
+// the fleet-scale analog of WithPatternShift. It applies only to
+// SimulateFleet; the single-node entry points reject it.
+func WithDrift(fraction float64, atEpoch, bySlots int) SimOption {
+	return func(o *simOpts) {
+		o.driftFraction = fraction
+		o.driftEpoch = atEpoch
+		o.driftSlots = bySlots
+		o.driftSet = true
+	}
+}
+
 // SimSummary is the per-epoch average outcome of a simulation run.
 type SimSummary struct {
 	// Mechanism is the scheduler that produced the result.
@@ -432,6 +461,9 @@ type SimSummary struct {
 // scheduler comes from the strategy registry: the mechanism argument's
 // name by default, the WithStrategy override when given.
 func simConfig(s *Scenario, m Mechanism, o simOpts) (sim.Config, error) {
+	if o.nodesSet || o.driftSet {
+		return sim.Config{}, errors.New("rushprobe: WithNodes and WithDrift apply only to SimulateFleet")
+	}
 	name := string(m)
 	switch len(o.strategies) {
 	case 0:
@@ -624,8 +656,8 @@ func RunExperiment(id string, seed uint64, opts ...SimOption) ([]*Table, error) 
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.epochsSet || o.warmupSet || o.shiftSet {
-		return nil, fmt.Errorf("rushprobe: experiment %s fixes its own epochs/warmup/shift; only WithSeed, WithParallelism, and WithStrategy apply", id)
+	if o.epochsSet || o.warmupSet || o.shiftSet || o.nodesSet || o.driftSet {
+		return nil, fmt.Errorf("rushprobe: experiment %s fixes its own epochs/warmup/shift/population; only WithSeed, WithParallelism, and WithStrategy apply", id)
 	}
 	if o.seedSet {
 		seed = o.seed

@@ -303,3 +303,54 @@ func TestSimulateWithGroupedContacts(t *testing.T) {
 		t.Error("colliding acks must not halt probing entirely")
 	}
 }
+
+func TestSimulateFleetClosedLoop(t *testing.T) {
+	sc := Roadside()
+	sum, err := SimulateFleet(sc, SNIPOPT,
+		WithNodes(8), WithEpochs(6), WithSeed(3), WithParallelism(1),
+		WithDrift(0.25, 3, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Strategy != string(SNIPOPT) {
+		t.Fatalf("strategy = %s, want %s", sum.Strategy, SNIPOPT)
+	}
+	if sum.Nodes != 8 || len(sum.PerEpoch) != 6 {
+		t.Fatalf("population %d x %d epochs, want 8 x 6", sum.Nodes, len(sum.PerEpoch))
+	}
+	// Past the 3-epoch bootstrap the learned schedules must recover a
+	// solid fraction of the oracle's goodput.
+	last := sum.PerEpoch[len(sum.PerEpoch)-1]
+	if last.ZetaRatio < 0.5 {
+		t.Fatalf("final zeta ratio %.3f, want >= 0.5", last.ZetaRatio)
+	}
+	if sum.Stats.Observations == 0 {
+		t.Fatal("closed loop fed no observations")
+	}
+}
+
+func TestSimulateFleetOptionGuards(t *testing.T) {
+	sc := Roadside()
+	if _, err := SimulateFleet(sc, SNIPOPT, WithWarmup(2)); err == nil {
+		t.Error("SimulateFleet must reject WithWarmup")
+	}
+	if _, err := SimulateFleet(sc, SNIPOPT, WithPatternShift(3, 2)); err == nil {
+		t.Error("SimulateFleet must reject WithPatternShift")
+	}
+	if _, err := SimulateFleet(sc, SNIPOPT, WithNodes(0)); err == nil {
+		t.Error("an explicit WithNodes(0) must not silently become the default")
+	}
+	if _, err := SimulateFleet(sc, SNIPOPT, WithEpochs(0)); err == nil {
+		t.Error("an explicit WithEpochs(0) must not silently become the default")
+	}
+	if _, err := Simulate(sc, SNIPRH, WithEpochs(2), WithNodes(4)); err == nil {
+		t.Error("Simulate must reject WithNodes")
+	}
+	if _, err := Simulate(sc, SNIPRH, WithEpochs(2), WithDrift(0.5, 1, 1)); err == nil {
+		t.Error("Simulate must reject WithDrift")
+	}
+	if _, err := RunExperiment("fig4", 1, WithNodes(4)); err == nil {
+		t.Error("RunExperiment must reject WithNodes")
+	}
+}
