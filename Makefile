@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve smoke-fleet loadtest
+.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve smoke-fleet loadtest soak
 
 all: fmt vet build test
 
@@ -25,7 +25,7 @@ test:
 # internal/fleetsim is the closed-loop co-sim smoke: its parallel ==
 # serial determinism test must stay race-clean.
 race:
-	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/fleet/ ./internal/fleetsim/ ./cmd/rushprobed/
+	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/learn/ ./internal/drift/ ./internal/fleet/ ./internal/fleetsim/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -53,6 +53,17 @@ loadtest: build-cmds
 	@./bin/rushprobed -addr 127.0.0.1:18080 -bootstrap-epochs 1 & pid=$$!; \
 	./bin/rushbench -addr http://127.0.0.1:18080 -rate 1000 -duration 10s \
 		-nodes 64 -strategies SNIP-OPT,SNIP-RH; \
+	status=$$?; kill $$pid 2>/dev/null; exit $$status
+
+# Drift soak: start rushprobed with the CUSUM detector armed and a
+# short bootstrap, replay ~10 s of observations with rushbench while
+# rotating every node's rush regime halfway through (-drift-inject),
+# and fail unless at least one drift event was detected and no request
+# hard-failed (rushbench exits non-zero on either).
+soak: build-cmds
+	@./bin/rushprobed -addr 127.0.0.1:18081 -bootstrap-epochs 1 -drift-detector cusum & pid=$$!; \
+	./bin/rushbench -addr http://127.0.0.1:18081 -rate 4000 -duration 10s \
+		-batch 100 -nodes 4 -drift-inject; \
 	status=$$?; kill $$pid 2>/dev/null; exit $$status
 
 # Closed-loop fleet co-simulation benchmarks: the ext-fleet experiment

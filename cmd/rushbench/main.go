@@ -11,9 +11,23 @@
 //	rushprobed -addr :8080 &
 //	rushbench -addr http://127.0.0.1:8080 -rate 1000 -duration 10s
 //	rushbench -trace trace.csv -nodes 64 -strategies SNIP-OPT,SNIP-RH
+//	rushbench -drift-inject -duration 10s
 //
-// The exit status is non-zero if any request fails, so CI can assert a
-// clean run (`make loadtest`).
+// Transient failures (connection errors, 429, 5xx) are retried with
+// capped exponential backoff honoring Retry-After, so a daemon that
+// sheds load under pressure reads as backpressure in the summary
+// (requests.retries, requests.shed), not as hard failures.
+//
+// With -drift-inject the replay becomes a drift soak: halfway through
+// the run every node's trace regime is swapped for a slot-rotated copy
+// (rush hours move to a different time of day), and after the replay
+// the summary's drift section reports how many nodes the daemon's
+// detector caught and at what epoch latency. The exit status is
+// non-zero if drift was injected but no node was detected, so CI can
+// assert the closed loop end to end (`make soak`).
+//
+// The exit status is also non-zero if any request fails after retries,
+// so CI can assert a clean run (`make loadtest`).
 package main
 
 import (
@@ -23,9 +37,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -57,6 +73,8 @@ type config struct {
 	seed        uint64
 	strategies  []string
 	wait        time.Duration
+	retries     int
+	driftInject bool
 }
 
 func run(args []string, out io.Writer) error {
@@ -72,6 +90,8 @@ func run(args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "seed for the internally generated trace")
 		strategies  = fs.String("strategies", "", "comma-separated strategies to split the node population across (default: fleet default only)")
 		wait        = fs.Duration("wait", 5*time.Second, "how long to wait for the daemon's /v1/healthz before starting")
+		retries     = fs.Int("retries", 4, "max retries per request for transient failures (connect errors, 429, 5xx)")
+		driftInject = fs.Bool("drift-inject", false, "swap every node to a slot-rotated trace regime at half the run and report the daemon's drift-detection latency")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,12 +106,17 @@ func run(args []string, out io.Writer) error {
 		tracePath:   *tracePath,
 		seed:        *seed,
 		wait:        *wait,
+		retries:     *retries,
+		driftInject: *driftInject,
 	}
 	if !strings.HasPrefix(cfg.base, "http://") && !strings.HasPrefix(cfg.base, "https://") {
 		cfg.base = "http://" + cfg.base
 	}
 	if cfg.rate <= 0 || cfg.duration <= 0 || cfg.concurrency < 1 || cfg.batch < 1 || cfg.nodes < 1 {
 		return fmt.Errorf("rate, duration, concurrency, batch, and nodes must be positive")
+	}
+	if cfg.retries < 0 {
+		return fmt.Errorf("retries must be non-negative")
 	}
 	if *strategies != "" {
 		for _, s := range strings.Split(*strategies, ",") {
@@ -110,6 +135,9 @@ func run(args []string, out io.Writer) error {
 	if summary.Requests.Failed > 0 {
 		return fmt.Errorf("%d of %d requests failed", summary.Requests.Failed, summary.Requests.Sent)
 	}
+	if d := summary.Drift; d != nil && d.NodesInjected > 0 && d.NodesDetected == 0 {
+		return fmt.Errorf("drift injected into %d nodes but no detector fired (is the daemon running with -drift-detector?)", d.NodesInjected)
+	}
 	return nil
 }
 
@@ -125,8 +153,14 @@ type Summary struct {
 		TraceSource string  `json:"traceSource"`
 	} `json:"config"`
 	Requests struct {
-		Sent   int `json:"sent"`
+		Sent int `json:"sent"`
+		// Failed counts requests that never succeeded, after retries.
 		Failed int `json:"failed"`
+		// Retries counts re-sent attempts that followed a transient
+		// failure; Shed counts the 429 responses among them. A loaded
+		// daemon shows up here, not in Failed.
+		Retries int `json:"retries"`
+		Shed    int `json:"shed"`
 	} `json:"requests"`
 	Observations struct {
 		Sent     int   `json:"sent"`
@@ -142,6 +176,32 @@ type Summary struct {
 		Max float64 `json:"max"`
 	} `json:"latencyMs"`
 	Strategies []StrategyReport `json:"strategies"`
+	Drift      *DriftReport     `json:"drift,omitempty"`
+}
+
+// DriftReport summarizes a -drift-inject soak: how many nodes had
+// their trace regime rotated mid-run, how many the daemon's drift
+// detector caught afterwards, and the detection latency in epochs.
+type DriftReport struct {
+	// NodesInjected counts nodes whose replay switched to the rotated
+	// regime (a node too lightly loaded to get a second-half batch is
+	// not injected).
+	NodesInjected int `json:"nodesInjected"`
+	// NodesDetected counts injected nodes whose profile shows a
+	// detector firing at or after the node's inject epoch.
+	NodesDetected int `json:"nodesDetected"`
+	// DriftEvents is the total detector-firing count across injected
+	// nodes.
+	DriftEvents int64 `json:"driftEvents"`
+	// MeanLatencyEpochs averages (firstDriftEpoch - injectEpoch + 1)
+	// over the detected nodes whose first firing came after injection;
+	// MaxLatencyEpochs is the worst such node. Zero when nothing was
+	// detected.
+	MeanLatencyEpochs float64 `json:"meanLatencyEpochs"`
+	MaxLatencyEpochs  int     `json:"maxLatencyEpochs"`
+	// FalseAlarms counts detector firings recorded before any
+	// injection happened.
+	FalseAlarms int `json:"falseAlarms"`
 }
 
 // StrategyReport aggregates the schedules served to one strategy group
@@ -182,25 +242,65 @@ func loadContacts(path string, seed uint64) ([]contact.Contact, string, error) {
 // offset, so a node's observation times are strictly nondecreasing
 // across passes (the fleet discards backward-in-time reports as stale).
 type nodeCursor struct {
-	id     string
-	pos    int
-	offset float64
+	id       string
+	contacts []contact.Contact
+	pos      int
+	offset   float64
+	last     float64 // start time of the last emitted observation
 }
 
-func (c *nodeCursor) next(contacts []contact.Contact, span float64) rushprobe.Observation {
+func (c *nodeCursor) next(span float64) rushprobe.Observation {
 	o := rushprobe.Observation{
 		Node:     c.id,
-		Time:     contacts[c.pos].Start.Seconds() + c.offset,
-		Length:   contacts[c.pos].Length.Seconds(),
+		Time:     c.contacts[c.pos].Start.Seconds() + c.offset,
+		Length:   c.contacts[c.pos].Length.Seconds(),
 		Uploaded: -1,
 	}
+	c.last = o.Time
 	c.pos++
-	if c.pos == len(contacts) {
+	if c.pos == len(c.contacts) {
 		c.pos = 0
 		c.offset += span
 	}
 	return o
 }
+
+// swap replaces the cursor's trace mid-replay, restarting it at the
+// next whole-day boundary past the last emitted observation so times
+// stay nondecreasing and epoch-aligned. It returns the epoch (day)
+// index of the regime change: the epoch the swap cut short, since that
+// truncated epoch is the first whose streams deviate from the old
+// regime (the rotated trace proper begins one epoch later).
+func (c *nodeCursor) swap(contacts []contact.Contact) int {
+	c.contacts = contacts
+	c.pos = 0
+	c.offset = (math.Floor(c.last/86400) + 1) * 86400
+	return int(c.last / 86400)
+}
+
+// rotateTrace shifts every contact's time of day by shift seconds
+// (mod one day, same day index) and restores start order: the rush
+// hours move to a different part of the day while the daily contact
+// volume and length distribution stay identical — drift only a
+// slot-level detector can see before throughput decays.
+func rotateTrace(contacts []contact.Contact, shift float64) []contact.Contact {
+	out := make([]contact.Contact, len(contacts))
+	for i, c := range contacts {
+		day := math.Floor(c.Start.Seconds() / 86400)
+		tod := math.Mod(c.Start.Seconds()-day*86400+shift, 86400)
+		out[i] = contact.Contact{
+			Start:  simtime.Instant(day*86400 + tod),
+			Length: c.Length,
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// driftShiftSeconds is how far -drift-inject rotates the rush hours
+// (a quarter day: far enough that the old rush mask misses the new
+// peak entirely).
+const driftShiftSeconds = 6 * 3600
 
 // batchPlan is one pre-marshaled observe request with its pacing slot.
 type batchPlan struct {
@@ -247,7 +347,7 @@ func bench(cfg config) (*Summary, error) {
 	cursors := make([]nodeCursor, cfg.nodes)
 	for n := range nodeIDs {
 		nodeIDs[n] = fmt.Sprintf("bench-%04d", n)
-		cursors[n] = nodeCursor{id: nodeIDs[n]}
+		cursors[n] = nodeCursor{id: nodeIDs[n], contacts: contacts}
 	}
 	for n, id := range nodeIDs {
 		name := groups[n%len(groups)]
@@ -269,19 +369,36 @@ func bench(cfg config) (*Summary, error) {
 		total = 1
 	}
 	interval := time.Duration(float64(cfg.batch) / cfg.rate * float64(time.Second))
+
+	// Drift soak: a batch paced into the second half of the run draws
+	// from the rotated regime; the first such batch per node swaps that
+	// node's cursor and records the inject epoch.
+	var rotated []contact.Contact
+	injectEpoch := make([]int, cfg.nodes)
+	for n := range injectEpoch {
+		injectEpoch[n] = -1
+	}
+	if cfg.driftInject {
+		rotated = rotateTrace(contacts, driftShiftSeconds)
+	}
+
 	plans := make([]batchPlan, total)
 	obsSent := 0
 	for i := range plans {
 		node := i % cfg.nodes
+		at := time.Duration(i) * interval
+		if cfg.driftInject && at >= cfg.duration/2 && injectEpoch[node] < 0 {
+			injectEpoch[node] = cursors[node].swap(rotated)
+		}
 		obs := make([]rushprobe.Observation, cfg.batch)
 		for j := range obs {
-			obs[j] = cursors[node].next(contacts, span)
+			obs[j] = cursors[node].next(span)
 		}
 		body, err := json.Marshal(observeRequest{Observations: obs})
 		if err != nil {
 			return nil, err
 		}
-		plans[i] = batchPlan{index: i, node: node, body: body, count: len(obs), at: time.Duration(i) * interval}
+		plans[i] = batchPlan{index: i, node: node, body: body, count: len(obs), at: at}
 		obsSent += len(obs)
 	}
 
@@ -291,6 +408,8 @@ func bench(cfg config) (*Summary, error) {
 		mu        sync.Mutex
 		latencies []time.Duration
 		failed    int
+		retries   int
+		shed      int
 		accepted  int64
 	)
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -309,10 +428,12 @@ func bench(cfg config) (*Summary, error) {
 					time.Sleep(d)
 				}
 				t0 := time.Now()
-				acc, err := postObserve(client, cfg.base, p.body)
+				acc, tx, err := postObserve(client, cfg.base, p.body, cfg.retries)
 				lat := time.Since(t0)
 				mu.Lock()
 				latencies = append(latencies, lat)
+				retries += tx.retries
+				shed += tx.shed
 				if err != nil {
 					failed++
 				} else {
@@ -335,6 +456,8 @@ func bench(cfg config) (*Summary, error) {
 	s.Config.TraceSource = source
 	s.Requests.Sent = len(plans)
 	s.Requests.Failed = failed
+	s.Requests.Retries = retries
+	s.Requests.Shed = shed
 	s.Observations.Sent = obsSent
 	s.Observations.Accepted = accepted
 	s.ElapsedSec = elapsed.Seconds()
@@ -349,7 +472,63 @@ func bench(cfg config) (*Summary, error) {
 		return nil, err
 	}
 	s.Strategies = reports
+
+	if cfg.driftInject {
+		dr, err := driftReport(client, cfg.base, nodeIDs, injectEpoch)
+		if err != nil {
+			return nil, err
+		}
+		s.Drift = dr
+	}
 	return s, nil
+}
+
+// driftReport reads every injected node's profile back from the daemon
+// and scores its detector: a node counts as detected when a firing is
+// recorded at or after the epoch its regime rotated.
+func driftReport(client *http.Client, base string, nodeIDs []string, injectEpoch []int) (*DriftReport, error) {
+	dr := &DriftReport{}
+	latencySum, latencyN := 0, 0
+	for n, id := range nodeIDs {
+		if injectEpoch[n] < 0 {
+			continue
+		}
+		dr.NodesInjected++
+		var prof struct {
+			DriftEvents     int64 `json:"driftEvents"`
+			FirstDriftEpoch int   `json:"firstDriftEpoch"`
+			LastDriftEpoch  int   `json:"lastDriftEpoch"`
+		}
+		if err := getJSON(client, base+"/v1/profile/"+id, &prof); err != nil {
+			return nil, fmt.Errorf("profile %s: %w", id, err)
+		}
+		if prof.DriftEvents == 0 {
+			continue
+		}
+		dr.DriftEvents += prof.DriftEvents
+		if prof.LastDriftEpoch < injectEpoch[n] {
+			dr.FalseAlarms++
+			continue
+		}
+		dr.NodesDetected++
+		if prof.FirstDriftEpoch < injectEpoch[n] {
+			// The first firing predates the injection (a false alarm);
+			// the node still detected the real shift, but its latency
+			// is unmeasurable from the profile.
+			dr.FalseAlarms++
+			continue
+		}
+		lat := prof.FirstDriftEpoch - injectEpoch[n] + 1
+		latencySum += lat
+		latencyN++
+		if lat > dr.MaxLatencyEpochs {
+			dr.MaxLatencyEpochs = lat
+		}
+	}
+	if latencyN > 0 {
+		dr.MeanLatencyEpochs = float64(latencySum) / float64(latencyN)
+	}
+	return dr, nil
 }
 
 // fillLatencies computes the latency percentiles in milliseconds using
@@ -475,22 +654,91 @@ func setStrategy(base, node, name string) error {
 	return nil
 }
 
-// postObserve sends one observe batch and returns the accepted count.
-func postObserve(client *http.Client, base string, body []byte) (int, error) {
-	resp, err := client.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
+// txStats counts the transport-level noise behind one logical request.
+type txStats struct {
+	retries int // attempts re-sent after a transient failure
+	shed    int // 429 responses among them
+}
+
+// Retry pacing: exponential from retryBase, capped at retryCap, with
+// ±50% jitter so synchronized workers don't re-converge on a daemon
+// that just shed them.
+const (
+	retryBase = 100 * time.Millisecond
+	retryCap  = 2 * time.Second
+)
+
+// retryDelay computes the backoff before retry `attempt` (1-based).
+// jitter must be in [0, 1). A parseable Retry-After (delta-seconds)
+// wins over the computed backoff when longer, capped at retryCap so a
+// confused server can't stall the replay.
+func retryDelay(attempt int, retryAfter string, jitter float64) time.Duration {
+	d := retryBase
+	for i := 1; i < attempt && d < retryCap; i++ {
+		d *= 2
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return 0, fmt.Errorf("HTTP %d", resp.StatusCode)
+	if d > retryCap {
+		d = retryCap
 	}
-	var or observeResponse
-	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
-		return 0, err
+	d = time.Duration(float64(d) * (0.5 + jitter))
+	if s, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && s > 0 {
+		ra := time.Duration(s) * time.Second
+		if ra > retryCap {
+			ra = retryCap
+		}
+		if ra > d {
+			d = ra
+		}
 	}
-	return or.Accepted, nil
+	return d
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// explicit backpressure (429) and server-side errors (5xx). Client
+// errors are bugs in the request and retry the same way they failed.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// postObserve sends one observe batch and returns the accepted count,
+// retrying transient failures (connection errors, 429, 5xx) with
+// capped exponential backoff up to `retries` extra attempts.
+func postObserve(client *http.Client, base string, body []byte, retries int) (int, txStats, error) {
+	var tx txStats
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
+		var status int
+		var retryAfter string
+		if err == nil {
+			status = resp.StatusCode
+			retryAfter = resp.Header.Get("Retry-After")
+			if status == http.StatusOK {
+				var or observeResponse
+				derr := json.NewDecoder(resp.Body).Decode(&or)
+				resp.Body.Close()
+				if derr != nil {
+					return 0, tx, derr
+				}
+				return or.Accepted, tx, nil
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if status == http.StatusTooManyRequests {
+				tx.shed++
+			}
+			if !retryableStatus(status) {
+				return 0, tx, fmt.Errorf("HTTP %d", status)
+			}
+		}
+		if attempt >= retries {
+			if err != nil {
+				return 0, tx, err
+			}
+			return 0, tx, fmt.Errorf("HTTP %d after %d retries", status, attempt)
+		}
+		tx.retries++
+		time.Sleep(retryDelay(attempt+1, retryAfter, rand.Float64()))
+	}
 }
 
 // getJSON fetches a URL and decodes the JSON body into v.

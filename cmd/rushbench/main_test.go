@@ -3,20 +3,24 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"rushprobe"
+	"rushprobe/internal/contact"
 )
 
-// newFleetServer is a minimal in-test rushprobed: the daemon's four
+// newFleetServer is a minimal in-test rushprobed: the daemon's
 // endpoints rushbench talks to, backed by a real Fleet.
-func newFleetServer(t *testing.T) *httptest.Server {
+func newFleetServer(t *testing.T, opts ...rushprobe.FleetOption) *httptest.Server {
 	t.Helper()
-	f, err := rushprobe.NewFleet(rushprobe.Roadside(rushprobe.WithZetaTarget(24)))
+	f, err := rushprobe.NewFleet(rushprobe.Roadside(rushprobe.WithZetaTarget(24)), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,6 +46,15 @@ func newFleetServer(t *testing.T) *httptest.Server {
 			return
 		}
 		json.NewEncoder(w).Encode(sched)
+	})
+	mux.HandleFunc("/v1/profile/", func(w http.ResponseWriter, r *http.Request) {
+		node := strings.TrimPrefix(r.URL.Path, "/v1/profile/")
+		prof, err := f.Profile(node)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(prof)
 	})
 	mux.HandleFunc("/v1/strategy/", func(w http.ResponseWriter, r *http.Request) {
 		node := strings.TrimPrefix(r.URL.Path, "/v1/strategy/")
@@ -112,6 +125,267 @@ func TestBenchAgainstFleet(t *testing.T) {
 	// the deltas of the second group are measured against the first.
 	if s.Strategies[0].DeltaPhiPct != 0 {
 		t.Fatalf("first group must be the delta baseline, got %+v", s.Strategies[0])
+	}
+}
+
+// TestBenchRetriesTransientFailures fronts the fleet server with a
+// flaky proxy that sheds every first attempt (429 + Retry-After, then
+// a 500) and asserts the replay completes with zero hard failures,
+// counting the noise as retries and shed responses instead.
+func TestBenchRetriesTransientFailures(t *testing.T) {
+	srv := newFleetServer(t)
+	defer srv.Close()
+
+	var mu sync.Mutex
+	tries := make(map[string]int) // per-body attempt count
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/observe" {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mu.Lock()
+			tries[string(body)]++
+			n := tries[string(body)]
+			mu.Unlock()
+			switch n {
+			case 1:
+				w.Header().Set("Retry-After", "0")
+				http.Error(w, "shedding", http.StatusTooManyRequests)
+				return
+			case 2:
+				http.Error(w, "hiccup", http.StatusInternalServerError)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		// Strip the test server's implicit proxy role: re-issue against
+		// the real fleet server.
+		resp, err := http.Post(srv.URL+r.URL.Path, "application/json", r.Body)
+		if r.Method == http.MethodGet {
+			resp, err = http.Get(srv.URL + r.URL.Path)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer flaky.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", flaky.URL,
+		"-rate", "1000",
+		"-duration", "300ms",
+		"-concurrency", "2",
+		"-batch", "50",
+		"-nodes", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	var s Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not JSON: %v", err)
+	}
+	if s.Requests.Failed != 0 {
+		t.Fatalf("failed = %d, want 0 (transient errors must be retried)", s.Requests.Failed)
+	}
+	if s.Requests.Retries < 2*s.Requests.Sent {
+		t.Fatalf("retries = %d for %d requests, want >= 2 per request (429 then 500)",
+			s.Requests.Retries, s.Requests.Sent)
+	}
+	if s.Requests.Shed < s.Requests.Sent {
+		t.Fatalf("shed = %d for %d requests, want one 429 counted per request",
+			s.Requests.Shed, s.Requests.Sent)
+	}
+	if s.Observations.Accepted != int64(s.Observations.Sent) {
+		t.Fatalf("accepted %d of %d observations after retries",
+			s.Observations.Accepted, s.Observations.Sent)
+	}
+}
+
+// TestBenchGivesUpAfterRetryBudget pins the terminal path: a target
+// that always sheds must exhaust the budget and count hard failures.
+func TestBenchGivesUpAfterRetryBudget(t *testing.T) {
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/healthz":
+			w.WriteHeader(http.StatusOK)
+		case strings.HasPrefix(r.URL.Path, "/v1/schedule/"):
+			json.NewEncoder(w).Encode(map[string]any{"mechanism": "SNIP-OPT", "zeta": 1.0, "phi": 1.0})
+		default:
+			http.Error(w, "no", http.StatusServiceUnavailable)
+		}
+	}))
+	defer always.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", always.URL,
+		"-rate", "100",
+		"-duration", "100ms",
+		"-batch", "10",
+		"-nodes", "1",
+		"-retries", "1",
+	}, &out)
+	if err == nil {
+		t.Fatal("a permanently shedding daemon must fail the run")
+	}
+	var s Summary
+	if jerr := json.Unmarshal(out.Bytes(), &s); jerr != nil {
+		t.Fatalf("summary is not JSON: %v", jerr)
+	}
+	if s.Requests.Failed == 0 {
+		t.Fatalf("failed = 0 against a dead ingest path: %+v", s.Requests)
+	}
+	if s.Requests.Retries == 0 {
+		t.Fatal("no retries recorded before giving up")
+	}
+}
+
+// TestRetryDelay pins the backoff policy: exponential from the base,
+// capped, jittered into [0.5x, 1.5x), and a longer Retry-After wins
+// (itself capped).
+func TestRetryDelay(t *testing.T) {
+	if d := retryDelay(1, "", 0); d != retryBase/2 {
+		t.Errorf("attempt 1 zero-jitter delay = %v, want %v", d, retryBase/2)
+	}
+	if d := retryDelay(2, "", 0.5); d != 2*retryBase {
+		t.Errorf("attempt 2 mid-jitter delay = %v, want %v", d, 2*retryBase)
+	}
+	if d := retryDelay(20, "", 0.999); d > retryCap+retryCap/2 {
+		t.Errorf("attempt 20 delay = %v, exceeds the jittered cap", d)
+	}
+	if d := retryDelay(1, "1", 0); d != time.Second {
+		t.Errorf("Retry-After 1s not honored: got %v", d)
+	}
+	if d := retryDelay(1, "3600", 0); d != retryCap {
+		t.Errorf("hour-long Retry-After must clamp to %v, got %v", retryCap, d)
+	}
+	if d := retryDelay(1, "garbage", 0); d != retryBase/2 {
+		t.Errorf("unparseable Retry-After changed the delay: %v", d)
+	}
+}
+
+// TestRotateTrace checks the drift-inject regime transform: same
+// contact count and per-day volume, start-sorted, times shifted within
+// their day.
+func TestRotateTrace(t *testing.T) {
+	contacts, _, err := loadContacts("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := rotateTrace(contacts, driftShiftSeconds)
+	if len(rot) != len(contacts) {
+		t.Fatalf("rotation changed the contact count: %d -> %d", len(contacts), len(rot))
+	}
+	days := func(cs []contact.Contact) map[int]int {
+		m := make(map[int]int)
+		for _, c := range cs {
+			m[int(c.Start.Seconds()/86400)]++
+		}
+		return m
+	}
+	orig, moved := days(contacts), days(rot)
+	for d, n := range orig {
+		if moved[d] != n {
+			t.Fatalf("day %d volume changed: %d -> %d (rotation must stay within the day)", d, n, moved[d])
+		}
+	}
+	for i := 1; i < len(rot); i++ {
+		if rot[i].Start < rot[i-1].Start {
+			t.Fatalf("rotated trace not sorted at %d: %v < %v", i, rot[i].Start, rot[i-1].Start)
+		}
+	}
+	// The regimes must actually differ: the hour-of-day histogram moves.
+	hour := func(cs []contact.Contact) [24]int {
+		var h [24]int
+		for _, c := range cs {
+			h[int(math.Mod(c.Start.Seconds(), 86400)/3600)]++
+		}
+		return h
+	}
+	if hour(contacts) == hour(rot) {
+		t.Fatal("rotation left the time-of-day profile unchanged")
+	}
+}
+
+// TestBenchDriftInjectSoak is the closed loop: replay against a fleet
+// with the CUSUM detector on, rotate every node's regime mid-run, and
+// require the daemon to notice. This is the same contract `make soak`
+// asserts against a real rushprobed process.
+func TestBenchDriftInjectSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak replay takes ~1s")
+	}
+	srv := newFleetServer(t, rushprobe.WithDriftDetector("cusum"))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", srv.URL,
+		"-rate", "20000",
+		"-duration", "400ms",
+		"-concurrency", "2",
+		"-batch", "100",
+		"-nodes", "2",
+		"-drift-inject",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	var s Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not JSON: %v", err)
+	}
+	if s.Drift == nil {
+		t.Fatal("-drift-inject produced no drift report")
+	}
+	if s.Drift.NodesInjected != 2 {
+		t.Fatalf("injected %d of 2 nodes", s.Drift.NodesInjected)
+	}
+	if s.Drift.NodesDetected < 1 || s.Drift.DriftEvents < 1 {
+		t.Fatalf("no drift detected after injection: %+v", *s.Drift)
+	}
+	if s.Drift.NodesDetected > 0 && s.Drift.MeanLatencyEpochs <= 0 {
+		t.Fatalf("detected nodes without a latency figure: %+v", *s.Drift)
+	}
+}
+
+// TestBenchDriftInjectFailsWithoutDetector asserts the soak's teeth:
+// against a fleet with no detector the run must exit non-zero, because
+// injected drift going unnoticed is exactly the regression the soak
+// exists to catch.
+func TestBenchDriftInjectFailsWithoutDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak replay takes ~1s")
+	}
+	srv := newFleetServer(t)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", srv.URL,
+		"-rate", "20000",
+		"-duration", "300ms",
+		"-batch", "100",
+		"-nodes", "2",
+		"-drift-inject",
+	}, &out)
+	if err == nil {
+		t.Fatal("drift injected with no detector must fail the run")
+	}
+	var s Summary
+	if jerr := json.Unmarshal(out.Bytes(), &s); jerr != nil {
+		t.Fatalf("summary is not JSON: %v", jerr)
+	}
+	if s.Drift == nil || s.Drift.NodesDetected != 0 {
+		t.Fatalf("detector-less fleet reported detections: %+v", s.Drift)
 	}
 }
 

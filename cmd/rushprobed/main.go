@@ -14,9 +14,17 @@
 //	GET  /v1/strategies       registered strategy names
 //	GET  /v1/healthz          liveness + fleet counters
 //	POST /v1/snapshot         persist learned state to the -snapshot path
+//	GET  /metrics             Prometheus text exposition of the same counters
 //
 // Every response is JSON, including errors and unknown routes
-// ({"error": "..."}).
+// ({"error": "..."}), except /metrics (Prometheus text format).
+//
+// The daemon degrades rather than collapses under overload: ingest
+// concurrency is bounded (-max-inflight-observe), and excess observe
+// requests are shed with 429 + Retry-After instead of queueing without
+// bound; every request runs under a deadline (-request-timeout); and
+// the listener enforces header/read/write/idle timeouts so slow or
+// stalled clients cannot pin connections.
 //
 // With -snapshot the daemon restores learned state at startup (if the
 // file exists) and persists it on SIGINT/SIGTERM, so a restarted daemon
@@ -37,7 +45,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -66,6 +76,9 @@ func run(args []string, out io.Writer) error {
 		shards     = fs.Int("shards", 16, "profile store shard count")
 		mechanism  = fs.String("mechanism", string(rushprobe.SNIPOPT), "default strategy served after bootstrap: any registered name (see GET /v1/strategies)")
 		snapshot   = fs.String("snapshot", "", "snapshot file: restored at startup, written on shutdown and POST /v1/snapshot")
+		driftDet   = fs.String("drift-detector", "cusum", "streaming drift detector relearning nodes whose rush pattern shifts: cusum, page-hinkley, or none")
+		inflight   = fs.Int("max-inflight-observe", 64, "max concurrent observe requests before shedding with 429")
+		reqTimeout = fs.Duration("request-timeout", 15*time.Second, "per-request handling deadline")
 		smoke      = fs.Bool("smoke", false, "run a loopback end-to-end smoke test and exit")
 		smokeTrace = fs.String("trace", "", "contact trace CSV for -smoke (e.g. from tracegen); default: generate internally")
 		smokeNodes = fs.Int("smoke-nodes", 8, "how many synthetic nodes -smoke fans the trace out to")
@@ -78,6 +91,7 @@ func run(args []string, out io.Writer) error {
 		rushprobe.WithBootstrapEpochs(*bootstrap),
 		rushprobe.WithShards(*shards),
 		rushprobe.WithFleetMechanism(rushprobe.Mechanism(*mechanism)),
+		rushprobe.WithDriftDetector(*driftDet),
 	)
 	if err != nil {
 		return err
@@ -88,11 +102,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	srv := newServer(f, *snapshot)
+	if *inflight > 0 {
+		srv.observeSem = make(chan struct{}, *inflight)
+	}
+	if *reqTimeout > 0 {
+		srv.requestTimeout = *reqTimeout
+	}
 	if *smoke {
 		return smokeTest(srv, *smokeTrace, *smokeNodes, out)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	httpSrv := newHTTPServer(srv)
+	httpSrv.Addr = *addr
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -172,16 +193,62 @@ func saveSnapshot(f *rushprobe.Fleet, path string) error {
 // observations per batch).
 const maxObserveBody = 64 << 20
 
+// Default degradation limits; run() overrides them from flags.
+const (
+	defaultMaxInflightObserve = 64
+	defaultRequestTimeout     = 15 * time.Second
+)
+
+// Listener-level timeouts. ReadHeaderTimeout evicts slowloris-style
+// clients that trickle header bytes; Read/Write bound a whole request
+// and response (generous enough for a full 64 MiB observe batch over a
+// slow link); Idle reclaims abandoned keep-alive connections.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 60 * time.Second
+	writeTimeout      = 60 * time.Second
+	idleTimeout       = 120 * time.Second
+)
+
+// newHTTPServer wraps the API in an http.Server with the listener
+// timeouts applied — every serving path (daemon, smoke test, tests)
+// must go through here so no listener runs unbounded.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
 // server routes the daemon's HTTP API onto a Fleet.
 type server struct {
 	fleet        *rushprobe.Fleet
 	snapshotPath string
 	start        time.Time
 	mux          *http.ServeMux
+
+	// requestTimeout bounds each request's context; observeSem bounds
+	// concurrent ingest (nil disables shedding), shed counts requests
+	// turned away at the semaphore, and inflight gauges current observe
+	// handlers for /metrics.
+	requestTimeout time.Duration
+	observeSem     chan struct{}
+	shed           atomic.Int64
+	inflight       atomic.Int64
 }
 
 func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
-	s := &server{fleet: f, snapshotPath: snapshotPath, start: time.Now(), mux: http.NewServeMux()}
+	s := &server{
+		fleet:          f,
+		snapshotPath:   snapshotPath,
+		start:          time.Now(),
+		mux:            http.NewServeMux(),
+		requestTimeout: defaultRequestTimeout,
+		observeSem:     make(chan struct{}, defaultMaxInflightObserve),
+	}
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	s.mux.HandleFunc("/v1/schedule/", s.handleSchedule)
 	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
@@ -189,6 +256,7 @@ func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	// Catch-all: unknown routes get the API's JSON error payload, not
 	// the mux's default text/plain 404 (or an empty body).
 	s.mux.HandleFunc("/", s.handleNotFound)
@@ -201,7 +269,17 @@ func (s *server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP runs every request under the server's deadline, so a
+// handler stuck on a slow body or a canceled client cannot outlive its
+// budget.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.requestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // writeJSON sends v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -234,6 +312,23 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Bounded ingest: when every slot is busy, shed immediately with a
+	// retry hint instead of queueing without bound — under a traffic
+	// spike the daemon stays responsive (schedules, health, metrics)
+	// and pushes backpressure to the reporting nodes.
+	if s.observeSem != nil {
+		select {
+		case s.observeSem <- struct{}{}:
+			defer func() { <-s.observeSem }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "ingest at capacity, retry")
+			return
+		}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	var req observeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
 	if err := dec.Decode(&req); err != nil {
@@ -359,6 +454,52 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics exposes the daemon's counters in the Prometheus text
+// exposition format, hand-rolled to keep the daemon dependency-free:
+// each metric is a `# HELP`/`# TYPE` pair plus one sample line, with
+// the per-strategy node gauge emitted with sorted label values so
+// consecutive scrapes of an unchanged fleet are byte-identical.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.fleet.Stats()
+	var b bytes.Buffer
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("rushprobe_uptime_seconds", "Seconds since the daemon started.", fmt.Sprintf("%.3f", time.Since(s.start).Seconds()))
+	gauge("rushprobe_nodes", "Tracked per-node profiles.", st.Nodes)
+	counter("rushprobe_observations_accepted_total", "Contact observations folded into profiles.", st.Observations)
+	counter("rushprobe_observations_stale_total", "Observations discarded for arriving in an already-folded epoch.", st.Stale)
+	counter("rushprobe_observations_invalid_total", "Observations rejected outright.", st.Invalid)
+	counter("rushprobe_plan_solves_total", "Optimizer solves.", st.PlanSolves)
+	counter("rushprobe_plan_cache_hits_total", "Schedule requests served from the fingerprint cache.", st.PlanCacheHits)
+	gauge("rushprobe_plan_cache_size", "Distinct plan fingerprints cached.", st.CachedPlans)
+	counter("rushprobe_drift_events_total", "Drift-detector firings that relearned a node.", st.DriftEvents)
+	counter("rushprobe_observe_shed_total", "Observe requests shed at the ingest concurrency bound.", s.shed.Load())
+	gauge("rushprobe_observe_inflight", "Observe requests currently being handled.", s.inflight.Load())
+
+	byStrategy := s.fleet.StrategyNodes()
+	names := make([]string, 0, len(byStrategy))
+	for name := range byStrategy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "# HELP rushprobe_strategy_nodes Nodes served per strategy in force.\n# TYPE rushprobe_strategy_nodes gauge\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "rushprobe_strategy_nodes{strategy=%q} %d\n", name, byStrategy[name])
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}
+
 type snapshotResponse struct {
 	Nodes int    `json:"nodes"`
 	Path  string `json:"path"`
@@ -416,7 +557,7 @@ func smokeTest(srv *server, tracePath string, nodes int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := newHTTPServer(srv)
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()

@@ -64,6 +64,16 @@ func WithFleetMechanism(m Mechanism) FleetOption {
 	return func(c *fleet.Config) { c.Mechanism = string(m) }
 }
 
+// WithDriftDetector selects a streaming change-point detector watching
+// every node's per-epoch observation streams ("cusum" or
+// "page-hinkley"; "" or "none" disables, the default). When a node's
+// detector fires, the fleet relearns that node from scratch instead of
+// waiting for its stale rush mask to decay, and Stats counts the
+// event.
+func WithDriftDetector(name string) FleetOption {
+	return func(c *fleet.Config) { c.DriftDetector = name }
+}
+
 // Fleet is a sharded in-memory store of per-node rush-hour profiles
 // with a fingerprint-keyed plan cache: the online serving layer that
 // turns the paper's §VII.B learning into schedules for a whole
@@ -122,6 +132,12 @@ func (f *Fleet) SetStrategy(node, name string) (string, error) {
 
 // Stats returns fleet-wide counters.
 func (f *Fleet) Stats() FleetStats { return f.inner.Stats() }
+
+// StrategyNodes counts the nodes each canonical strategy name is
+// currently serving (nodes without an override count under the fleet
+// default). It takes each shard lock once; call it at scrape cadence,
+// not per request.
+func (f *Fleet) StrategyNodes() map[string]int { return f.inner.StrategyNodes() }
 
 // Snapshot writes the fleet's learned state as JSON. Snapshot bytes are
 // deterministic (nodes sorted by ID) and float-exact, so a Restore

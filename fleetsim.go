@@ -39,6 +39,18 @@ type FleetSimSummary struct {
 	PerEpoch []FleetEpoch
 	// Stats is the fleet's final counter state.
 	Stats FleetStats
+	// DriftEvents is the fleet's total detector-firing count (zero
+	// without WithDriftDetection).
+	DriftEvents int64
+	// DetectedDriftNodes counts drifted nodes whose detector first
+	// fired at or after the drift epoch; StationaryAlarms counts
+	// firings on nodes whose pattern never shifted (false positives).
+	DetectedDriftNodes int
+	StationaryAlarms   int64
+	// MeanDetectionLatency is the mean detection latency over detected
+	// nodes, in epochs: a shift at the start of epoch E detected while
+	// folding epoch E counts as 1. Zero when nothing was detected.
+	MeanDetectionLatency float64
 }
 
 // SimulateFleet closes the loop between the simulator and the fleet
@@ -54,10 +66,12 @@ type FleetSimSummary struct {
 //
 // The mechanism (or a WithStrategy override) is the fleet's default
 // strategy; WithNodes sizes the population; WithEpochs, WithSeed, and
-// WithParallelism work as in Simulate. Output is deterministic for a
-// fixed seed and bit-identical for every parallelism. WithWarmup and
-// WithPatternShift do not apply (drift is a population property — use
-// WithDrift) and are rejected.
+// WithParallelism work as in Simulate; WithDriftDetection arms the
+// fleet's streaming change-point detector and fills the summary's
+// detection metrics. Output is deterministic for a fixed seed and
+// bit-identical for every parallelism. WithWarmup and WithPatternShift
+// do not apply (drift is a population property — use WithDrift) and
+// are rejected.
 func SimulateFleet(s *Scenario, m Mechanism, opts ...SimOption) (*FleetSimSummary, error) {
 	if s == nil || s.inner == nil {
 		return nil, errors.New("rushprobe: nil scenario")
@@ -97,18 +111,25 @@ func SimulateFleet(s *Scenario, m Mechanism, opts ...SimOption) (*FleetSimSummar
 		spec.DriftEpoch = o.driftEpoch
 		spec.DriftSlots = o.driftSlots
 	}
+	if o.detectorSet {
+		spec.DriftDetector = o.driftDetector
+	}
 	res, err := fleetsim.Simulate(spec)
 	if err != nil {
 		return nil, err
 	}
 	out := &FleetSimSummary{
-		Strategy:      res.Strategy,
-		Nodes:         res.Nodes,
-		Epochs:        res.Epochs,
-		DriftNodes:    res.DriftNodes,
-		DistinctPlans: res.DistinctPlans,
-		PerEpoch:      make([]FleetEpoch, len(res.PerEpoch)),
-		Stats:         res.Stats,
+		Strategy:             res.Strategy,
+		Nodes:                res.Nodes,
+		Epochs:               res.Epochs,
+		DriftNodes:           res.DriftNodes,
+		DistinctPlans:        res.DistinctPlans,
+		PerEpoch:             make([]FleetEpoch, len(res.PerEpoch)),
+		Stats:                res.Stats,
+		DriftEvents:          res.DriftEvents,
+		DetectedDriftNodes:   res.DetectedDriftNodes,
+		StationaryAlarms:     res.StationaryAlarms,
+		MeanDetectionLatency: res.MeanDetectionLatency,
 	}
 	for i, p := range res.PerEpoch {
 		out.PerEpoch[i] = FleetEpoch{

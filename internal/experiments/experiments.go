@@ -141,7 +141,7 @@ func sweepStrategies(p Params) ([]string, error) {
 // silently ignored.
 func noStrategyAxis(id string, p Params) error {
 	if len(p.Strategies) > 0 {
-		return fmt.Errorf("experiments: %s has no strategy axis (strategy selection applies to fig7, fig8, ext-loss, ext-latency, ext-contention, ext-fleet)", id)
+		return fmt.Errorf("experiments: %s has no strategy axis (strategy selection applies to fig7, fig8, ext-loss, ext-latency, ext-contention, ext-fleet, ext-drift)", id)
 	}
 	return nil
 }

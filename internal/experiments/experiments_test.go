@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"ext-learn", "ext-shift", "ext-drh", "ext-exp", "ext-loss",
 		"ext-mip", "ext-latency", "ext-rl", "ext-lifetime", "ext-mobility",
-		"ext-contention", "ext-fleet",
+		"ext-contention", "ext-fleet", "ext-drift",
 	}
 	for _, id := range want {
 		e, ok := reg[id]

@@ -26,6 +26,7 @@ var slowGoldenIDs = map[string]bool{
 	"ext-rl":         true,
 	"ext-shift":      true,
 	"ext-fleet":      true,
+	"ext-drift":      true,
 }
 
 // TestGoldenTables regenerates every registered experiment and compares

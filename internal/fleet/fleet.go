@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rushprobe/internal/drift"
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/simtime"
 	"rushprobe/internal/strategy"
@@ -131,6 +132,17 @@ type Config struct {
 	// into the learner when a node goes quiet: beyond it the EWMAs have
 	// fully decayed, so the remaining gap is skipped. Default 64.
 	MaxEpochSkip int
+	// DriftDetector selects the streaming change-point detector watching
+	// each node's per-epoch observation streams (probed contact rate,
+	// mean contact length, rush-mask capacity share): "cusum",
+	// "page-hinkley", or "" / "none" / "off" to disable. Default
+	// disabled. When a detector fires, the node relearns from scratch
+	// (Relearn) and its cached plan is invalidated, instead of waiting
+	// for EWMA decay. See package drift.
+	DriftDetector string
+	// DriftTuning overrides the detector defaults; the zero value
+	// selects the drift package defaults.
+	DriftTuning drift.Config
 }
 
 // withDefaults resolves the zero-value fields.
@@ -196,6 +208,16 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxEpochSkip < 1 {
 		return c, fmt.Errorf("fleet: max epoch skip must be positive, got %d", c.MaxEpochSkip)
 	}
+	switch c.DriftDetector {
+	case "none", "off":
+		c.DriftDetector = ""
+	}
+	if c.DriftDetector != "" {
+		c.DriftDetector = drift.Canonical(c.DriftDetector)
+		if _, err := drift.New(c.DriftDetector, c.DriftTuning); err != nil {
+			return c, fmt.Errorf("fleet: %w", err)
+		}
+	}
 	return c, nil
 }
 
@@ -247,6 +269,9 @@ type Stats struct {
 	PlanCacheHits int64 `json:"planCacheHits"`
 	// CachedPlans is the number of distinct fingerprints cached.
 	CachedPlans int `json:"cachedPlans"`
+	// DriftEvents counts drift-detector firings across the fleet (zero
+	// when detection is disabled).
+	DriftEvents int64 `json:"driftEvents"`
 }
 
 // shard is one lock domain of the profile store.
@@ -269,9 +294,10 @@ type Fleet struct {
 
 	// Fleet-level counters, kept as atomics so Stats never has to walk
 	// the profiles under the shard locks.
-	accepted atomic.Int64
-	stale    atomic.Int64
-	invalid  atomic.Int64
+	accepted    atomic.Int64
+	stale       atomic.Int64
+	invalid     atomic.Int64
+	driftEvents atomic.Int64
 }
 
 // New builds a Fleet over the base scenario carried by cfg.
@@ -369,14 +395,58 @@ func (f *Fleet) advanceTo(p *profile, e int) {
 		// The node was silent long enough that every EWMA has decayed to
 		// its floor; folding more empty epochs changes nothing.
 		for i := 0; i < f.cfg.MaxEpochSkip; i++ {
-			p.learner.EndEpoch()
+			f.foldEpoch(p)
 		}
 		p.epoch = e
 	} else {
 		for p.epoch < e {
-			p.learner.EndEpoch()
+			f.foldEpoch(p)
 			p.epoch++
 		}
+	}
+}
+
+// foldEpoch completes the profile's current epoch: it feeds the drift
+// monitor the epoch's observation streams, folds the learner, and —
+// when a detector fired — relearns the node. Callers hold the shard
+// lock and advance p.epoch themselves.
+func (f *Fleet) foldEpoch(p *profile) {
+	fired := false
+	if p.mon != nil && p.learner.Epochs() >= f.cfg.BootstrapEpochs {
+		// Streams are only watched after the node graduates: graduation
+		// swaps the bootstrap SNIP-AT plan for the learned one, which
+		// shifts the probed-rate distribution, and a detector warmed on
+		// bootstrap epochs would mistake the node's own plan change for
+		// environment drift. EpochShare must be read before EndEpoch
+		// resets the accumulator.
+		fired = p.mon.rate.Observe(float64(p.epochContacts))
+		if p.epochContacts > 0 {
+			fired = p.mon.length.Observe(p.epochLenSum/float64(p.epochContacts)) || fired
+			if share, ok := p.learner.EpochShare(); ok {
+				fired = p.mon.share.Observe(share) || fired
+			}
+		}
+	}
+	p.learner.EndEpoch()
+	p.epochContacts = 0
+	p.epochLenSum = 0
+	if fired {
+		// The pattern shifted under the learned plan. Stale ranking
+		// evidence is worse than none — a learned plan only probes the
+		// slots it already believes in, so the new rush hours may never
+		// be observed at all; dropping back to the whole-epoch bootstrap
+		// relearns the mask from scratch. The detectors reset with the
+		// relearn (Observe did so on firing) and re-warm once the node
+		// graduates again.
+		p.learner.Relearn()
+		p.mon.reset()
+		p.driftEvents++
+		if p.firstDrift < 0 {
+			p.firstDrift = p.epoch
+		}
+		p.lastDrift = p.epoch
+		p.sched = nil
+		f.driftEvents.Add(1)
 	}
 }
 
@@ -393,6 +463,8 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 	}
 	f.advanceTo(p, e)
 	p.learner.ObserveContact(f.clk.SlotIndex(at), o.Length)
+	p.epochContacts++
+	p.epochLenSum += o.Length
 	p.length.Observe(o.Length)
 	if o.Uploaded >= 0 {
 		p.upload.Observe(o.Uploaded)
@@ -544,11 +616,13 @@ func (f *Fleet) Profile(node string) (NodeProfile, error) {
 	p := sh.nodes[node]
 	if p == nil {
 		return NodeProfile{
-			Node:          node,
-			Strategy:      f.cfg.Mechanism,
-			Bootstrapping: true,
-			RushMask:      make([]bool, len(f.cfg.Base.Slots)),
-			SlotCapacity:  make([]float64, len(f.cfg.Base.Slots)),
+			Node:            node,
+			Strategy:        f.cfg.Mechanism,
+			Bootstrapping:   true,
+			RushMask:        make([]bool, len(f.cfg.Base.Slots)),
+			SlotCapacity:    make([]float64, len(f.cfg.Base.Slots)),
+			FirstDriftEpoch: -1,
+			LastDriftEpoch:  -1,
 		}, nil
 	}
 	return NodeProfile{
@@ -562,6 +636,9 @@ func (f *Fleet) Profile(node string) (NodeProfile, error) {
 		SlotCapacity:      p.learner.Capacity(),
 		RushMask:          p.learner.Mask(),
 		Bootstrapping:     p.learner.Epochs() < f.cfg.BootstrapEpochs,
+		DriftEvents:       p.driftEvents,
+		FirstDriftEpoch:   p.firstDrift,
+		LastDriftEpoch:    p.lastDrift,
 	}, nil
 }
 
@@ -588,6 +665,12 @@ type NodeProfile struct {
 	// Bootstrapping reports whether the node still serves the bootstrap
 	// plan.
 	Bootstrapping bool `json:"bootstrapping"`
+	// DriftEvents counts how many times the node's drift detector has
+	// fired; FirstDriftEpoch and LastDriftEpoch are the epoch indices of
+	// the first and latest firings (-1 when none).
+	DriftEvents     int64 `json:"driftEvents"`
+	FirstDriftEpoch int   `json:"firstDriftEpoch"`
+	LastDriftEpoch  int   `json:"lastDriftEpoch"`
 }
 
 // Stats returns fleet-wide counters. The counters are atomics and the
@@ -606,8 +689,27 @@ func (f *Fleet) Stats() Stats {
 	s.Invalid = f.invalid.Load()
 	s.PlanSolves = f.cache.solves.Load()
 	s.PlanCacheHits = f.cache.hits.Load()
+	s.DriftEvents = f.driftEvents.Load()
 	f.cache.mu.Lock()
 	s.CachedPlans = len(f.cache.entries)
 	f.cache.mu.Unlock()
 	return s
+}
+
+// StrategyNodes counts the profiles each canonical strategy name is
+// currently serving (nodes without an override count under the fleet
+// default) — the per-strategy gauge the daemon's /metrics endpoint
+// exports. The walk takes each shard lock once; call it at scrape
+// cadence, not on the ingest path.
+func (f *Fleet) StrategyNodes() map[string]int {
+	out := make(map[string]int)
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.nodes {
+			out[f.strategyInForce(p)]++
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }

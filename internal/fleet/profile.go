@@ -27,6 +27,20 @@ type profile struct {
 	observed int64
 	stale    int64
 
+	// mon watches the node's per-epoch observation streams for change
+	// points; nil when the fleet's drift detection is disabled.
+	mon *monitor
+	// epochContacts and epochLenSum accumulate the current epoch's
+	// accepted contact count and summed length — the raw material of the
+	// monitor's rate and length streams.
+	epochContacts int
+	epochLenSum   float64
+	// driftEvents counts detector firings; firstDrift and lastDrift are
+	// the epoch indices of the first and latest firings (-1 when none).
+	driftEvents int64
+	firstDrift  int
+	lastDrift   int
+
 	// sched caches the schedule served for the current learned state;
 	// nil after any state or strategy change.
 	sched *Schedule
@@ -44,10 +58,13 @@ func (f *Fleet) newProfile(node string) *profile {
 		panic(err)
 	}
 	return &profile{
-		id:      node,
-		length:  learn.NewContactLength(meanLen),
-		upload:  learn.NewUploadAmount(meanLen * f.cfg.Base.UploadRate),
-		learner: learner,
+		id:         node,
+		length:     learn.NewContactLength(meanLen),
+		upload:     learn.NewUploadAmount(meanLen * f.cfg.Base.UploadRate),
+		learner:    learner,
+		mon:        f.newMonitor(),
+		firstDrift: -1,
+		lastDrift:  -1,
 	}
 }
 

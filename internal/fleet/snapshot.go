@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"rushprobe/internal/drift"
 	"rushprobe/internal/learn"
 	"rushprobe/internal/strategy"
 )
@@ -38,6 +39,34 @@ type NodeState struct {
 	Length   learn.ContactLengthState `json:"length"`
 	Upload   learn.UploadAmountState  `json:"upload"`
 	Learner  learn.RushHourState      `json:"learner"`
+	// Drift is the node's drift-detection state; nil (omitted) when the
+	// fleet runs without a detector and the node has never drifted, so
+	// pre-drift snapshots restore unchanged.
+	Drift *NodeDriftState `json:"drift,omitempty"`
+}
+
+// NodeDriftState is a node's serialized drift-detection state: the
+// event counters, the current epoch's partial stream accumulators, and
+// each stream detector's internal registers — everything a restarted
+// daemon needs so an in-progress detection picks up exactly where it
+// left off.
+type NodeDriftState struct {
+	// Events counts detector firings; First and Last are the epoch
+	// indices of the first and latest firings. Both are only meaningful
+	// when Events > 0 (a firing needs warmup, so a real first epoch is
+	// never 0 and omitempty is safe).
+	Events int64 `json:"events,omitempty"`
+	First  int   `json:"first,omitempty"`
+	Last   int   `json:"last,omitempty"`
+	// Contacts and LenSum are the current epoch's partial rate/length
+	// accumulators (the learner's own accumulator rides in Learner).
+	Contacts int     `json:"contacts,omitempty"`
+	LenSum   float64 `json:"lenSum,omitempty"`
+	// Rate, Length, and Share are the per-stream detector states; nil
+	// when the snapshotting fleet ran without a detector.
+	Rate   *drift.State `json:"rate,omitempty"`
+	Length *drift.State `json:"length,omitempty"`
+	Share  *drift.State `json:"share,omitempty"`
 }
 
 // Snapshot exports the fleet's learned state.
@@ -56,6 +85,7 @@ func (f *Fleet) Snapshot() *Snapshot {
 				Length:   p.length.State(),
 				Upload:   p.upload.State(),
 				Learner:  p.learner.State(),
+				Drift:    driftState(p),
 			})
 		}
 		sh.mu.Unlock()
@@ -76,7 +106,7 @@ func (f *Fleet) Restore(s *Snapshot) error {
 		return fmt.Errorf("fleet: snapshot base fingerprint %016x does not match configured base %016x", s.BaseFingerprint, f.baseFP)
 	}
 	restored := make(map[int]map[string]*profile, len(f.shards))
-	var observed, stale int64
+	var observed, stale, driftTotal int64
 	for _, n := range s.Nodes {
 		if n.ID == "" {
 			return fmt.Errorf("fleet: snapshot contains a node with an empty ID")
@@ -118,18 +148,26 @@ func (f *Fleet) Restore(s *Snapshot) error {
 		if _, dup := restored[si][n.ID]; dup {
 			return fmt.Errorf("fleet: snapshot contains node %s twice", n.ID)
 		}
-		restored[si][n.ID] = &profile{
-			id:       n.ID,
-			strategy: override,
-			length:   length,
-			upload:   upload,
-			learner:  learner,
-			epoch:    n.Epoch,
-			observed: n.Observed,
-			stale:    n.Stale,
+		p := &profile{
+			id:         n.ID,
+			strategy:   override,
+			length:     length,
+			upload:     upload,
+			learner:    learner,
+			epoch:      n.Epoch,
+			observed:   n.Observed,
+			stale:      n.Stale,
+			mon:        f.newMonitor(),
+			firstDrift: -1,
+			lastDrift:  -1,
 		}
+		if err := f.restoreDrift(p, n.Drift); err != nil {
+			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
+		}
+		restored[si][n.ID] = p
 		observed += n.Observed
 		stale += n.Stale
+		driftTotal += p.driftEvents
 	}
 	// All-or-nothing: swap in the new maps only after every node parsed.
 	for i := range f.shards {
@@ -143,6 +181,71 @@ func (f *Fleet) Restore(s *Snapshot) error {
 	}
 	f.accepted.Store(observed)
 	f.stale.Store(stale)
+	f.driftEvents.Store(driftTotal)
+	return nil
+}
+
+// driftState exports a profile's drift-detection state, or nil when
+// there is nothing to persist (detection disabled and no recorded
+// events), keeping pre-drift snapshots byte-identical.
+func driftState(p *profile) *NodeDriftState {
+	if p.mon == nil && p.driftEvents == 0 {
+		return nil
+	}
+	ds := &NodeDriftState{Events: p.driftEvents}
+	if p.driftEvents > 0 {
+		ds.First, ds.Last = p.firstDrift, p.lastDrift
+	}
+	if p.mon != nil {
+		ds.Contacts = p.epochContacts
+		ds.LenSum = p.epochLenSum
+		rs, ls, ss := p.mon.rate.State(), p.mon.length.State(), p.mon.share.State()
+		ds.Rate, ds.Length, ds.Share = &rs, &ls, &ss
+	}
+	return ds
+}
+
+// restoreDrift applies a snapshot's drift state to a freshly built
+// profile. Counters always carry over; detector registers restore only
+// when this fleet runs a detector (a fleet configured without one
+// keeps the history but drops the registers, and a snapshot from a
+// detector-less fleet leaves the fresh detectors in warmup).
+func (f *Fleet) restoreDrift(p *profile, ds *NodeDriftState) error {
+	if ds == nil {
+		return nil
+	}
+	if ds.Events < 0 {
+		return fmt.Errorf("fleet: snapshot has negative drift event count %d", ds.Events)
+	}
+	if ds.Contacts < 0 || ds.LenSum < 0 {
+		return fmt.Errorf("fleet: snapshot has negative epoch accumulators (%d contacts, %g length)", ds.Contacts, ds.LenSum)
+	}
+	p.driftEvents = ds.Events
+	if ds.Events > 0 {
+		p.firstDrift, p.lastDrift = ds.First, ds.Last
+	}
+	p.epochContacts = ds.Contacts
+	p.epochLenSum = ds.LenSum
+	if p.mon == nil {
+		return nil
+	}
+	streams := []struct {
+		det   drift.Detector
+		state *drift.State
+		name  string
+	}{
+		{p.mon.rate, ds.Rate, "rate"},
+		{p.mon.length, ds.Length, "length"},
+		{p.mon.share, ds.Share, "share"},
+	}
+	for _, s := range streams {
+		if s.state == nil {
+			continue
+		}
+		if err := s.det.Restore(*s.state); err != nil {
+			return fmt.Errorf("%s stream: %w", s.name, err)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,88 @@
+package fleetsim
+
+import (
+	"testing"
+
+	"rushprobe/internal/drift"
+	"rushprobe/internal/scenario"
+	"rushprobe/internal/strategy"
+)
+
+// detectorSpec is the drift-detection co-sim: long enough past the
+// bootstrap for the detectors' baselines to mature on clean epochs
+// before half the population shifts its pattern.
+func detectorSpec(detector string) Spec {
+	return Spec{
+		Base:          scenario.Roadside(),
+		Nodes:         12,
+		Epochs:        20,
+		Strategy:      strategy.NameRH,
+		Seed:          1,
+		DriftFraction: 0.5,
+		DriftEpoch:    12,
+		DriftDetector: detector,
+	}
+}
+
+// The streaming detector must catch injected pattern shifts from the
+// duty-cycle-censored observation stream alone — within the patience
+// budget and without a single alarm on the stationary nodes.
+func TestStreamingDetectorCatchesInjectedDrift(t *testing.T) {
+	res, err := Simulate(detectorSpec(drift.KindCUSUM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DriftNodes == 0 {
+		t.Fatal("population has no drifted nodes; the spec is miscalibrated")
+	}
+	if res.DetectedDriftNodes == 0 {
+		t.Fatalf("no drifted node was detected (%d drifted, %d events)", res.DriftNodes, res.DriftEvents)
+	}
+	if res.DetectedDriftNodes < res.DriftNodes/2 {
+		t.Fatalf("only %d of %d drifted nodes detected", res.DetectedDriftNodes, res.DriftNodes)
+	}
+	if res.StationaryAlarms != 0 {
+		t.Fatalf("%d alarms on stationary nodes", res.StationaryAlarms)
+	}
+	if res.MeanDetectionLatency <= 0 || res.MeanDetectionLatency > drift.DefaultPatience {
+		t.Fatalf("mean detection latency %.2f epochs, want within (0, %d]", res.MeanDetectionLatency, drift.DefaultPatience)
+	}
+	if res.DriftEvents < int64(res.DetectedDriftNodes) {
+		t.Fatalf("drift events %d < detected nodes %d", res.DriftEvents, res.DetectedDriftNodes)
+	}
+}
+
+// Without a detector every drift metric stays zero — the baseline the
+// ext-drift experiment compares against.
+func TestNoDetectorReportsNoDriftMetrics(t *testing.T) {
+	res, err := Simulate(detectorSpec(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DriftEvents != 0 || res.DetectedDriftNodes != 0 || res.StationaryAlarms != 0 || res.MeanDetectionLatency != 0 {
+		t.Fatalf("detector-less run reported drift metrics: %+v", res)
+	}
+}
+
+// Detection must not break the determinism contract.
+func TestDetectorParallelMatchesSerial(t *testing.T) {
+	serial := detectorSpec(drift.KindPageHinkley)
+	serial.Nodes = 8
+	serial.Epochs = 12
+	serial.DriftEpoch = 7
+	serial.Parallelism = 1
+	parallel := serial
+	parallel.Parallelism = 4
+	a, err := Simulate(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DriftEvents != b.DriftEvents || a.DetectedDriftNodes != b.DetectedDriftNodes ||
+		a.MeanDetectionLatency != b.MeanDetectionLatency {
+		t.Fatalf("parallel drift metrics differ from serial:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"rushprobe/internal/core"
+	"rushprobe/internal/drift"
 	"rushprobe/internal/fleet"
 	"rushprobe/internal/pool"
 	"rushprobe/internal/rng"
@@ -80,6 +81,15 @@ type Spec struct {
 	DriftEpoch int
 	// DriftSlots is how far the pattern shifts. Default 3.
 	DriftSlots int
+	// DriftDetector selects the fleet's streaming change-point detector
+	// ("cusum" or "page-hinkley"; empty disables — the default). With a
+	// detector, a node whose ingest streams shift is relearned from
+	// scratch instead of waiting for EWMA decay, and the Result reports
+	// detection coverage and latency.
+	DriftDetector string
+	// DriftTuning overrides the detector's thresholds (zero fields keep
+	// the drift package defaults). Ignored without a DriftDetector.
+	DriftTuning drift.Config
 	// WakeInterval overrides the co-simulated CPU wake period. Default
 	// DefaultWakeInterval.
 	WakeInterval simtime.Duration
@@ -185,6 +195,18 @@ type Result struct {
 	DistinctPlans int
 	// Stats is the fleet's final counter state.
 	Stats fleet.Stats
+	// DriftEvents is the fleet's total detector-firing count (zero when
+	// Spec.DriftDetector is empty).
+	DriftEvents int64
+	// DetectedDriftNodes counts drifted nodes whose detector first
+	// fired at or after the drift epoch; StationaryAlarms counts
+	// firings on nodes whose pattern never shifted (false positives).
+	DetectedDriftNodes int
+	StationaryAlarms   int64
+	// MeanDetectionLatency is the mean detection latency over detected
+	// nodes, in epochs: a shift at the start of epoch E detected while
+	// folding epoch E counts as 1. Zero when nothing was detected.
+	MeanDetectionLatency float64
 }
 
 // nodeOutcome is one node's per-epoch series from both passes.
@@ -209,6 +231,8 @@ func Simulate(spec Spec) (*Result, error) {
 		Mechanism:       spec.Strategy,
 		BootstrapEpochs: spec.BootstrapEpochs,
 		RushSlots:       spec.RushSlots,
+		DriftDetector:   spec.DriftDetector,
+		DriftTuning:     spec.DriftTuning,
 	})
 	if err != nil {
 		return nil, err
@@ -271,6 +295,29 @@ func Simulate(spec Spec) (*Result, error) {
 	}
 	res.DistinctPlans = len(distinct)
 	res.Stats = flt.Stats()
+	res.DriftEvents = res.Stats.DriftEvents
+	// Detection coverage and latency, from the per-node drift history
+	// the fleet recorded. A drifted node counts as detected only when
+	// its first firing is at or after the injected shift; an earlier
+	// firing would be a false positive, which (like any firing on a
+	// stationary node) lands in StationaryAlarms instead.
+	latency := 0
+	for i := range outcomes {
+		prof, err := flt.Profile(ids[i])
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case outcomes[i].drifted && prof.DriftEvents > 0 && prof.FirstDriftEpoch >= spec.DriftEpoch:
+			res.DetectedDriftNodes++
+			latency += prof.FirstDriftEpoch - spec.DriftEpoch + 1
+		case prof.DriftEvents > 0:
+			res.StationaryAlarms += prof.DriftEvents
+		}
+	}
+	if res.DetectedDriftNodes > 0 {
+		res.MeanDetectionLatency = float64(latency) / float64(res.DetectedDriftNodes)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,159 @@
+package learn
+
+import (
+	"testing"
+
+	"rushprobe/internal/rng"
+)
+
+// maskWith returns an n-slot mask with the given slots set.
+func maskWith(n int, slots ...int) []bool {
+	m := make([]bool, n)
+	for _, s := range slots {
+		m[s%n] = true
+	}
+	return m
+}
+
+// A stationary mask stream with single-slot flicker noise must never
+// trigger a shift at tolerance 1 — flicker disagrees on at most 2
+// slots only transiently.
+func TestDriftTrackerStationaryFlickerNoFalsePositives(t *testing.T) {
+	base := maskWith(24, 7, 8, 17, 18)
+	d, err := NewDriftTracker(base, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.Derive(5, "learn-drift-stationary")
+	for epoch := 0; epoch < 500; epoch++ {
+		m := maskWith(24, 7, 8, 17, 18)
+		if r.Float64() < 0.3 {
+			// One rush slot flickers to a neighbor: 2 slots disagree.
+			m[18] = false
+			m[19] = true
+		}
+		if d.ObserveEpoch(m) {
+			t.Fatalf("adopted a shift at epoch %d on flicker noise", epoch)
+		}
+	}
+	if d.Shifts() != 0 {
+		t.Fatalf("got %d shifts on a stationary stream", d.Shifts())
+	}
+}
+
+// A step change (the whole rush window rotates) must be adopted
+// exactly `patience` epochs after it appears, and not before.
+func TestDriftTrackerStepChangeLatencyEqualsPatience(t *testing.T) {
+	const patience = 4
+	base := maskWith(24, 7, 8, 17, 18)
+	shifted := maskWith(24, 13, 14, 23, 0)
+	d, err := NewDriftTracker(base, 1, patience)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 30; epoch++ {
+		d.ObserveEpoch(base)
+	}
+	for epoch := 0; epoch < patience-1; epoch++ {
+		if d.ObserveEpoch(shifted) {
+			t.Fatalf("adopted the shift after only %d epochs", epoch+1)
+		}
+	}
+	if !d.ObserveEpoch(shifted) {
+		t.Fatal("did not adopt the shift at the patience boundary")
+	}
+	if d.Shifts() != 1 {
+		t.Fatalf("got %d shifts, want 1", d.Shifts())
+	}
+}
+
+// A ramp — the mask drifting one slot at a time — is adopted once the
+// cumulative disagreement exceeds tolerance for patience epochs.
+func TestDriftTrackerRampAdoptedOncePastTolerance(t *testing.T) {
+	d, err := NewDriftTracker(maskWith(24, 7, 8, 17, 18), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adoptedAt := -1
+	for step := 1; step <= 6; step++ {
+		m := maskWith(24, 7+step, 8+step, 17+step, 18+step)
+		// Each ramp position is seen for two epochs (the patience).
+		for rep := 0; rep < 2; rep++ {
+			if d.ObserveEpoch(m) && adoptedAt < 0 {
+				adoptedAt = step
+			}
+		}
+	}
+	// Shifting by 2 slots disagrees on 4 > tolerance 2; the tracker
+	// must have adopted by then.
+	if adoptedAt < 0 || adoptedAt > 2 {
+		t.Fatalf("ramp adopted at step %d, want within the first 2 steps", adoptedAt)
+	}
+}
+
+func TestRushHourLearnerRelearnResetsToBootstrap(t *testing.T) {
+	l, err := NewRushHourLearner(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 5; e++ {
+		l.ObserveContact(1, 10)
+		l.ObserveContact(4, 8)
+		l.EndEpoch()
+	}
+	if l.Epochs() != 5 {
+		t.Fatalf("epochs = %d, want 5", l.Epochs())
+	}
+	l.ObserveContact(2, 3) // partial epoch in flight
+	l.Relearn()
+	if l.Epochs() != 0 {
+		t.Fatalf("epochs after relearn = %d, want 0", l.Epochs())
+	}
+	for i, c := range l.Capacity() {
+		if c != 0 {
+			t.Fatalf("slot %d capacity %g after relearn, want 0", i, c)
+		}
+	}
+	for i, m := range l.Mask() {
+		if m {
+			t.Fatalf("slot %d still marked rush after relearn", i)
+		}
+	}
+	// The learner must relearn a different pattern cleanly.
+	for e := 0; e < 3; e++ {
+		l.ObserveContact(0, 12)
+		l.ObserveContact(5, 9)
+		l.EndEpoch()
+	}
+	mask := l.Mask()
+	if !mask[0] || !mask[5] {
+		t.Fatalf("relearned mask %v, want slots 0 and 5", mask)
+	}
+}
+
+func TestEpochShareTracksMaskOverlap(t *testing.T) {
+	l, err := NewRushHourLearner(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.EpochShare(); ok {
+		t.Fatal("EpochShare reported data on an empty epoch")
+	}
+	// Learn slot 2 as the rush slot.
+	for e := 0; e < 3; e++ {
+		l.ObserveContact(2, 10)
+		l.EndEpoch()
+	}
+	// An epoch matching the mask: share 1.
+	l.ObserveContact(2, 6)
+	if share, ok := l.EpochShare(); !ok || share != 1 {
+		t.Fatalf("in-mask share = %g (ok=%v), want 1", share, ok)
+	}
+	l.EndEpoch()
+	// A shifted epoch: 2 of 8 capacity units inside the mask.
+	l.ObserveContact(0, 6)
+	l.ObserveContact(2, 2)
+	if share, ok := l.EpochShare(); !ok || share != 0.25 {
+		t.Fatalf("post-shift share = %g (ok=%v), want 0.25", share, ok)
+	}
+}

@@ -163,6 +163,48 @@ func (l *RushHourLearner) EndEpoch() {
 // Epochs returns how many epochs have been folded in.
 func (l *RushHourLearner) Epochs() int { return l.epochs }
 
+// Relearn discards the learner's ranking evidence and epoch count,
+// returning the node to its bootstrap phase. The fleet calls this when
+// a drift detector fires: after a rush-pattern shift the per-slot
+// EWMAs rank stale slots, and because a learned plan only probes the
+// slots it already believes in, the learner may never observe the new
+// rush hours at all — re-entering the low-duty SNIP-AT bootstrap
+// (§VII.B) restores whole-epoch observability and relearns the mask
+// from scratch, which is faster and safer than waiting for the stale
+// ranking to decay.
+func (l *RushHourLearner) Relearn() {
+	for i := range l.perEpoch {
+		l.perEpoch[i].Reset()
+		l.epochCap[i] = 0
+	}
+	l.epochs = 0
+}
+
+// EpochShare returns the fraction of the current (not yet folded)
+// epoch's observed capacity that falls inside the learner's current
+// rush mask, and whether the epoch observed anything at all. It is the
+// per-slot capacity vector collapsed to the one scalar a drift
+// detector can watch: when the rush pattern rotates away from the
+// learned mask, the share collapses epochs before the EWMA ranking
+// decays. Callers must read it before EndEpoch resets the accumulator.
+func (l *RushHourLearner) EpochShare() (float64, bool) {
+	total := 0.0
+	for _, c := range l.epochCap {
+		total += c
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	mask := l.Mask()
+	in := 0.0
+	for i, c := range l.epochCap {
+		if mask[i] {
+			in += c
+		}
+	}
+	return in / total, true
+}
+
 // Capacity returns the learned per-slot capacity estimates.
 func (l *RushHourLearner) Capacity() []float64 {
 	out := make([]float64, l.slots)

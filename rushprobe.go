@@ -352,6 +352,8 @@ type simOpts struct {
 	driftEpoch    int
 	driftSlots    int
 	driftSet      bool
+	driftDetector string
+	detectorSet   bool
 }
 
 // WithEpochs sets the number of simulated epochs (default 14, the
@@ -433,6 +435,20 @@ func WithDrift(fraction float64, atEpoch, bySlots int) SimOption {
 	}
 }
 
+// WithDriftDetection arms the fleet of a SimulateFleet co-simulation
+// with a streaming change-point detector ("cusum" or "page-hinkley";
+// see WithDriftDetector for the serving-layer equivalent): a node whose
+// detector fires is relearned from scratch instead of waiting for its
+// stale rush mask to decay, and the summary reports detection coverage
+// and latency. It applies only to SimulateFleet; the single-node entry
+// points reject it.
+func WithDriftDetection(name string) SimOption {
+	return func(o *simOpts) {
+		o.driftDetector = name
+		o.detectorSet = true
+	}
+}
+
 // SimSummary is the per-epoch average outcome of a simulation run.
 type SimSummary struct {
 	// Mechanism is the scheduler that produced the result.
@@ -461,8 +477,8 @@ type SimSummary struct {
 // scheduler comes from the strategy registry: the mechanism argument's
 // name by default, the WithStrategy override when given.
 func simConfig(s *Scenario, m Mechanism, o simOpts) (sim.Config, error) {
-	if o.nodesSet || o.driftSet {
-		return sim.Config{}, errors.New("rushprobe: WithNodes and WithDrift apply only to SimulateFleet")
+	if o.nodesSet || o.driftSet || o.detectorSet {
+		return sim.Config{}, errors.New("rushprobe: WithNodes, WithDrift, and WithDriftDetection apply only to SimulateFleet")
 	}
 	name := string(m)
 	switch len(o.strategies) {

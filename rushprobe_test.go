@@ -350,7 +350,43 @@ func TestSimulateFleetOptionGuards(t *testing.T) {
 	if _, err := Simulate(sc, SNIPRH, WithEpochs(2), WithDrift(0.5, 1, 1)); err == nil {
 		t.Error("Simulate must reject WithDrift")
 	}
+	if _, err := Simulate(sc, SNIPRH, WithEpochs(2), WithDriftDetection("cusum")); err == nil {
+		t.Error("Simulate must reject WithDriftDetection")
+	}
 	if _, err := RunExperiment("fig4", 1, WithNodes(4)); err == nil {
 		t.Error("RunExperiment must reject WithNodes")
+	}
+	if _, err := SimulateFleet(sc, SNIPOPT, WithNodes(4), WithEpochs(4),
+		WithDriftDetection("no-such-detector")); err == nil {
+		t.Error("SimulateFleet must reject an unknown detector name")
+	}
+}
+
+// TestSimulateFleetDriftDetection drives the public detection surface:
+// a population where half the nodes rotate their rush pattern mid-run,
+// with the CUSUM detector armed, must report detections with bounded
+// latency and no alarms on the stationary half.
+func TestSimulateFleetDriftDetection(t *testing.T) {
+	sum, err := SimulateFleet(Roadside(), SNIPOPT,
+		WithNodes(8), WithEpochs(20), WithSeed(3), WithParallelism(1),
+		WithDrift(0.5, 12, 6), WithDriftDetection("cusum"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DriftNodes == 0 {
+		t.Skip("seed produced no drifted nodes")
+	}
+	if sum.DriftEvents < 1 || sum.DetectedDriftNodes < 1 {
+		t.Fatalf("no detections on a drifting population: %+v", sum)
+	}
+	if sum.StationaryAlarms != 0 {
+		t.Fatalf("%d alarms on stationary nodes", sum.StationaryAlarms)
+	}
+	if sum.MeanDetectionLatency <= 0 || sum.MeanDetectionLatency > 8 {
+		t.Fatalf("mean detection latency %.2f epochs, want in (0, 8]", sum.MeanDetectionLatency)
+	}
+	if sum.Stats.DriftEvents != sum.DriftEvents {
+		t.Fatalf("summary drift events %d != fleet counter %d", sum.DriftEvents, sum.Stats.DriftEvents)
 	}
 }
