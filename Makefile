@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve smoke-fleet loadtest soak
+.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve smoke-fleet ops-smoke loadtest soak
 
 all: fmt vet build test
 
@@ -25,7 +25,7 @@ test:
 # internal/fleetsim is the closed-loop co-sim smoke: its parallel ==
 # serial determinism test must stay race-clean.
 race:
-	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/learn/ ./internal/drift/ ./internal/fleet/ ./internal/fleetsim/ ./cmd/rushprobed/
+	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/learn/ ./internal/drift/ ./internal/fleet/ ./internal/fleetsim/ ./internal/telemetry/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -43,6 +43,14 @@ serve:
 smoke-fleet: build-cmds
 	./bin/tracegen -days 4 -seed 7 > bin/smoke-trace.csv
 	./bin/rushprobed -smoke -trace bin/smoke-trace.csv -smoke-nodes 8
+
+# Observability smoke: the daemon smoke plus the ops listener — scrape
+# /metrics through the strict exposition parser (required families,
+# coherent histograms), hit /debug/traces, and check pprof answers on
+# the separate -ops-addr port.
+ops-smoke: build-cmds
+	./bin/tracegen -days 4 -seed 7 > bin/smoke-trace.csv
+	./bin/rushprobed -smoke -trace bin/smoke-trace.csv -smoke-nodes 8 -ops-addr 127.0.0.1:0
 
 # Trace-replay load test: start rushprobed on a loopback port, stream
 # 10 s of observations at 1000 obs/s with rushbench (nodes split across

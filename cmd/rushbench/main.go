@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -51,6 +52,7 @@ import (
 	"rushprobe/internal/rng"
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/simtime"
+	"rushprobe/internal/telemetry"
 	"rushprobe/internal/trace"
 )
 
@@ -75,6 +77,7 @@ type config struct {
 	wait        time.Duration
 	retries     int
 	driftInject bool
+	logger      *slog.Logger
 }
 
 func run(args []string, out io.Writer) error {
@@ -92,8 +95,14 @@ func run(args []string, out io.Writer) error {
 		wait        = fs.Duration("wait", 5*time.Second, "how long to wait for the daemon's /v1/healthz before starting")
 		retries     = fs.Int("retries", 4, "max retries per request for transient failures (connect errors, 429, 5xx)")
 		driftInject = fs.Bool("drift-inject", false, "swap every node to a slot-rotated trace regime at half the run and report the daemon's drift-detection latency")
+		logFormat   = fs.String("log-format", "text", "progress log format on stderr: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum progress log level: debug, info, warn, or error")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 	cfg := config{
@@ -108,6 +117,7 @@ func run(args []string, out io.Writer) error {
 		wait:        *wait,
 		retries:     *retries,
 		driftInject: *driftInject,
+		logger:      logger,
 	}
 	if !strings.HasPrefix(cfg.base, "http://") && !strings.HasPrefix(cfg.base, "https://") {
 		cfg.base = "http://" + cfg.base
@@ -177,6 +187,111 @@ type Summary struct {
 	} `json:"latencyMs"`
 	Strategies []StrategyReport `json:"strategies"`
 	Drift      *DriftReport     `json:"drift,omitempty"`
+	Server     *ServerReport    `json:"server"`
+}
+
+// ServerReport closes the telemetry loop: rushbench scrapes the
+// daemon's /metrics before and after the replay and reports the
+// server-side stage latency deltas next to its own client-side
+// latencies, so a slow run can be attributed (network vs ingest vs
+// solve) from the summary alone. Scraping is best effort — a daemon
+// without the histogram families, or one behind a proxy that blocks
+// /metrics, yields Scraped=false with the reason, never a failed run.
+type ServerReport struct {
+	Scraped bool   `json:"scraped"`
+	Error   string `json:"error,omitempty"`
+	// Stages holds the per-stage histogram deltas attributable to this
+	// run (stages idle during the replay are omitted).
+	Stages []ServerStage `json:"stages,omitempty"`
+}
+
+// ServerStage is one stage histogram's delta over the replay window.
+type ServerStage struct {
+	Stage  string  `json:"stage"`
+	Count  float64 `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// serverStageFamilies are the daemon histogram families the server
+// report covers, in report order.
+var serverStageFamilies = []string{
+	"rushprobe_ingest_batch_seconds",
+	"rushprobe_schedule_seconds",
+	"rushprobe_solve_seconds",
+	"rushprobe_advance_epoch_seconds",
+	"rushprobe_snapshot_save_seconds",
+	"rushprobe_snapshot_restore_seconds",
+}
+
+// scrapeStageHistograms fetches /metrics and extracts the stage
+// histograms under the strict text-format parser (shared with the
+// daemon's own smoke validation).
+func scrapeStageHistograms(client *http.Client, base string) (map[string]telemetry.ParsedHistogram, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	fams, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	out := make(map[string]telemetry.ParsedHistogram, len(serverStageFamilies))
+	for _, name := range serverStageFamilies {
+		fam, ok := fams[name]
+		if !ok || fam.Type != "histogram" {
+			continue
+		}
+		if err := fam.ValidateHistogram(); err != nil {
+			return nil, fmt.Errorf("metrics: %s: %w", name, err)
+		}
+		out[name] = fam.Histogram()
+	}
+	return out, nil
+}
+
+// serverReport diffs the post-run scrape against the pre-run one.
+func serverReport(client *http.Client, base string, before map[string]telemetry.ParsedHistogram, beforeErr error) *ServerReport {
+	r := &ServerReport{}
+	if beforeErr != nil {
+		r.Error = fmt.Sprintf("pre-run scrape: %v", beforeErr)
+		return r
+	}
+	after, err := scrapeStageHistograms(client, base)
+	if err != nil {
+		r.Error = fmt.Sprintf("post-run scrape: %v", err)
+		return r
+	}
+	r.Scraped = true
+	for _, name := range serverStageFamilies {
+		ah, ok := after[name]
+		if !ok {
+			continue
+		}
+		d := ah
+		if bh, ok := before[name]; ok {
+			d = ah.Sub(bh)
+		}
+		if d.Count == 0 {
+			continue
+		}
+		r.Stages = append(r.Stages, ServerStage{
+			Stage:  name,
+			Count:  d.Count,
+			MeanMs: d.Mean() * 1e3,
+			P50Ms:  d.Quantile(0.50) * 1e3,
+			P90Ms:  d.Quantile(0.90) * 1e3,
+			P99Ms:  d.Quantile(0.99) * 1e3,
+		})
+	}
+	return r
 }
 
 // DriftReport summarizes a -drift-inject soak: how many nodes had
@@ -337,6 +452,19 @@ func bench(cfg config) (*Summary, error) {
 	if err := waitHealthy(cfg.base, cfg.wait); err != nil {
 		return nil, err
 	}
+	log := cfg.logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	// Pre-run scrape: the baseline the post-run scrape is diffed against
+	// so the server report covers only this replay's work. Best effort —
+	// the error is carried into the report, not fatal.
+	scrapeClient := &http.Client{Timeout: 10 * time.Second}
+	before, beforeErr := scrapeStageHistograms(scrapeClient, cfg.base)
+	if beforeErr != nil {
+		log.Warn("pre-run metrics scrape failed; server report will be empty", "err", beforeErr)
+	}
 
 	// Assign strategies to node groups before the replay starts.
 	groups := cfg.strategies
@@ -401,6 +529,14 @@ func bench(cfg config) (*Summary, error) {
 		plans[i] = batchPlan{index: i, node: node, body: body, count: len(obs), at: at}
 		obsSent += len(obs)
 	}
+	log.Info("replay starting",
+		"target", cfg.base,
+		"nodes", cfg.nodes,
+		"batches", total,
+		"observations", obsSent,
+		"ratePerSec", cfg.rate,
+		"durationSec", cfg.duration.Seconds(),
+		"driftInject", cfg.driftInject)
 
 	// Replay: worker w owns the batches of nodes n with n % concurrency
 	// == w, in index order.
@@ -445,6 +581,12 @@ func bench(cfg config) (*Summary, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	log.Info("replay done",
+		"elapsedSec", elapsed.Seconds(),
+		"sent", len(plans),
+		"failed", failed,
+		"retries", retries,
+		"shed", shed)
 
 	s := &Summary{}
 	s.Config.Target = cfg.base
@@ -479,6 +621,17 @@ func bench(cfg config) (*Summary, error) {
 			return nil, err
 		}
 		s.Drift = dr
+		log.Info("drift soak scored",
+			"nodesInjected", dr.NodesInjected,
+			"nodesDetected", dr.NodesDetected,
+			"meanLatencyEpochs", dr.MeanLatencyEpochs)
+	}
+
+	s.Server = serverReport(scrapeClient, cfg.base, before, beforeErr)
+	if s.Server.Scraped {
+		log.Info("server telemetry scraped", "stages", len(s.Server.Stages))
+	} else {
+		log.Warn("server telemetry unavailable", "reason", s.Server.Error)
 	}
 	return s, nil
 }

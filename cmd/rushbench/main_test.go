@@ -17,14 +17,23 @@ import (
 )
 
 // newFleetServer is a minimal in-test rushprobed: the daemon's
-// endpoints rushbench talks to, backed by a real Fleet.
+// endpoints rushbench talks to, backed by a real telemetry-armed Fleet
+// (so /metrics serves real stage histograms for the scrape tests).
 func newFleetServer(t *testing.T, opts ...rushprobe.FleetOption) *httptest.Server {
 	t.Helper()
+	tel := rushprobe.NewTelemetry(rushprobe.TelemetryConfig{})
+	opts = append([]rushprobe.FleetOption{rushprobe.WithTelemetry(tel)}, opts...)
 	f, err := rushprobe.NewFleet(rushprobe.Roadside(rushprobe.WithZetaTarget(24)), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := tel.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
@@ -125,6 +134,115 @@ func TestBenchAgainstFleet(t *testing.T) {
 	// the deltas of the second group are measured against the first.
 	if s.Strategies[0].DeltaPhiPct != 0 {
 		t.Fatalf("first group must be the delta baseline, got %+v", s.Strategies[0])
+	}
+}
+
+// TestBenchScrapesServerTelemetry closes the metrics loop: the summary
+// must embed server-side stage histogram deltas scraped around the run,
+// and the deltas must cover only this run's work (a second replay
+// against the same warm daemon reports its own counts, not cumulative
+// ones).
+func TestBenchScrapesServerTelemetry(t *testing.T) {
+	srv := newFleetServer(t)
+	defer srv.Close()
+
+	runOnce := func() Summary {
+		t.Helper()
+		var out bytes.Buffer
+		err := run([]string{
+			"-addr", srv.URL,
+			"-rate", "1000",
+			"-duration", "300ms",
+			"-concurrency", "2",
+			"-batch", "50",
+			"-nodes", "4",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\noutput: %s", err, out.String())
+		}
+		var s Summary
+		if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+			t.Fatalf("summary is not JSON: %v", err)
+		}
+		return s
+	}
+
+	for pass, s := range []Summary{runOnce(), runOnce()} {
+		if s.Server == nil || !s.Server.Scraped {
+			t.Fatalf("pass %d: server telemetry not scraped: %+v", pass, s.Server)
+		}
+		stages := make(map[string]ServerStage, len(s.Server.Stages))
+		for _, st := range s.Server.Stages {
+			stages[st.Stage] = st
+		}
+		ingest, ok := stages["rushprobe_ingest_batch_seconds"]
+		if !ok {
+			t.Fatalf("pass %d: no ingest stage in server report: %+v", pass, s.Server.Stages)
+		}
+		// Every observe request is one fleet ingest batch; a cumulative
+		// (non-delta) report would double on the second pass.
+		if int(ingest.Count) != s.Requests.Sent {
+			t.Fatalf("pass %d: ingest delta counts %v batches for %d requests",
+				pass, ingest.Count, s.Requests.Sent)
+		}
+		if ingest.MeanMs < 0 || ingest.P99Ms < ingest.P50Ms {
+			t.Fatalf("pass %d: incoherent ingest latencies: %+v", pass, ingest)
+		}
+		if _, ok := stages["rushprobe_schedule_seconds"]; !ok {
+			t.Fatalf("pass %d: no schedule stage despite schedule fetches: %+v", pass, s.Server.Stages)
+		}
+	}
+}
+
+// TestBenchSurvivesMetricslessDaemon pins the best-effort contract: a
+// daemon without /metrics (or an older one) degrades the server report
+// to Scraped=false with a reason — never a failed run.
+func TestBenchSurvivesMetricslessDaemon(t *testing.T) {
+	srv := newFleetServer(t)
+	defer srv.Close()
+	// Front the fleet server with a proxy that 404s /metrics only.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		var resp *http.Response
+		var err error
+		if r.Method == http.MethodPost {
+			resp, err = http.Post(srv.URL+r.URL.Path, "application/json", r.Body)
+		} else {
+			resp, err = http.Get(srv.URL + r.URL.Path)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", proxy.URL,
+		"-rate", "500",
+		"-duration", "200ms",
+		"-batch", "50",
+		"-nodes", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run must not fail on a metricsless daemon: %v\n%s", err, out.String())
+	}
+	var s Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not JSON: %v", err)
+	}
+	if s.Server == nil || s.Server.Scraped || s.Server.Error == "" {
+		t.Fatalf("server report must degrade with a reason: %+v", s.Server)
+	}
+	if s.Requests.Failed != 0 {
+		t.Fatalf("replay failed alongside the degraded scrape: %+v", s.Requests)
 	}
 }
 

@@ -44,8 +44,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Fatalf("content type %q, want text/plain exposition", ct)
+	// Exact match: Prometheus scrapers negotiate on the version parameter,
+	// so a drifting content type is a real interop regression.
+	if ct := resp.Header.Get("Content-Type"); ct != expositionContentType {
+		t.Fatalf("content type %q, want exactly %q", ct, expositionContentType)
 	}
 	text := string(readBody(t, resp))
 	for _, want := range []string{

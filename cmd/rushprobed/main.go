@@ -14,7 +14,8 @@
 //	GET  /v1/strategies       registered strategy names
 //	GET  /v1/healthz          liveness + fleet counters
 //	POST /v1/snapshot         persist learned state to the -snapshot path
-//	GET  /metrics             Prometheus text exposition of the same counters
+//	GET  /metrics             Prometheus text exposition: counters, gauges, stage histograms
+//	GET  /debug/traces?n=     most recent request/stage spans from the in-memory trace ring
 //
 // Every response is JSON, including errors and unknown routes
 // ({"error": "..."}), except /metrics (Prometheus text format).
@@ -25,6 +26,13 @@
 // bound; every request runs under a deadline (-request-timeout); and
 // the listener enforces header/read/write/idle timeouts so slow or
 // stalled clients cannot pin connections.
+//
+// Observability: every request gets an ID (returned as X-Request-ID and
+// threaded through the fleet's stage spans), requests slower than
+// -slow-request are logged automatically, and all logging is structured
+// (-log-format text|json, -log-level). -ops-addr starts a second
+// listener carrying net/http/pprof, /metrics, and /debug/traces, kept
+// off the fleet-facing API port.
 //
 // With -snapshot the daemon restores learned state at startup (if the
 // file exists) and persists it on SIGINT/SIGTERM, so a restarted daemon
@@ -40,13 +48,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -56,6 +68,7 @@ import (
 	"rushprobe/internal/rng"
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/simtime"
+	"rushprobe/internal/telemetry"
 	"rushprobe/internal/trace"
 )
 
@@ -82,24 +95,34 @@ func run(args []string, out io.Writer) error {
 		smoke      = fs.Bool("smoke", false, "run a loopback end-to-end smoke test and exit")
 		smokeTrace = fs.String("trace", "", "contact trace CSV for -smoke (e.g. from tracegen); default: generate internally")
 		smokeNodes = fs.Int("smoke-nodes", 8, "how many synthetic nodes -smoke fans the trace out to")
+		logFormat  = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		slowReq    = fs.Duration("slow-request", 250*time.Millisecond, "log any request or fleet stage at least this slow (0 disables)")
+		traceRing  = fs.Int("trace-ring", 1024, "in-memory span ring capacity served at /debug/traces")
+		opsAddr    = fs.String("ops-addr", "", "separate operations listener (net/http/pprof, /metrics, /debug/traces); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	tel := rushprobe.NewTelemetry(rushprobe.TelemetryConfig{
+		TraceRing: *traceRing,
+		SlowSpan:  *slowReq,
+		Logger:    logger,
+	})
 	f, err := rushprobe.NewFleet(
 		rushprobe.Roadside(rushprobe.WithZetaTarget(*zeta), rushprobe.WithBudgetFraction(*budget)),
 		rushprobe.WithBootstrapEpochs(*bootstrap),
 		rushprobe.WithShards(*shards),
 		rushprobe.WithFleetMechanism(rushprobe.Mechanism(*mechanism)),
 		rushprobe.WithDriftDetector(*driftDet),
+		rushprobe.WithTelemetry(tel),
 	)
 	if err != nil {
 		return err
-	}
-	if *snapshot != "" {
-		if err := loadSnapshot(f, *snapshot); err != nil {
-			return err
-		}
 	}
 	srv := newServer(f, *snapshot)
 	if *inflight > 0 {
@@ -108,8 +131,25 @@ func run(args []string, out io.Writer) error {
 	if *reqTimeout > 0 {
 		srv.requestTimeout = *reqTimeout
 	}
+	if *snapshot != "" {
+		if err := srv.restoreSnapshot(); err != nil {
+			return err
+		}
+	}
+	var opsURL string
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			return err
+		}
+		opsSrv := newHTTPServer(newOpsMux(srv))
+		go opsSrv.Serve(opsLn)
+		defer opsSrv.Close()
+		opsURL = "http://" + opsLn.Addr().String()
+		logger.Info("ops listener up", "addr", opsLn.Addr().String())
+	}
 	if *smoke {
-		return smokeTest(srv, *smokeTrace, *smokeNodes, out)
+		return smokeTest(srv, *smokeTrace, *smokeNodes, opsURL, out)
 	}
 
 	httpSrv := newHTTPServer(srv)
@@ -118,7 +158,7 @@ func run(args []string, out io.Writer) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(out, "rushprobed: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr, "mechanism", *mechanism, "snapshot", *snapshot)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -134,12 +174,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *snapshot != "" {
-		if err := saveSnapshot(f, *snapshot); err != nil {
+		if err := srv.persistSnapshot(); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "rushprobed: snapshot saved to %s\n", *snapshot)
+		logger.Info("snapshot saved", "path", *snapshot, "nodes", f.Stats().Nodes)
 	}
 	return nil
+}
+
+// newLogger builds the daemon's structured logger from the -log-format
+// and -log-level flags.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	return telemetry.NewLogger(w, format, level)
 }
 
 // loadSnapshot restores the fleet from path if the file exists; a
@@ -230,6 +276,15 @@ type server struct {
 	start        time.Time
 	mux          *http.ServeMux
 
+	// tel is the telemetry bundle shared with the fleet (a detached one
+	// when the fleet runs untelemetered, so /metrics and /debug/traces
+	// keep their shape); registry renders the full /metrics exposition;
+	// reqSeq mints request IDs.
+	tel      *rushprobe.Telemetry
+	logger   *slog.Logger
+	registry *telemetry.Registry
+	reqSeq   atomic.Uint64
+
 	// requestTimeout bounds each request's context; observeSem bounds
 	// concurrent ingest (nil disables shedding), shed counts requests
 	// turned away at the semaphore, and inflight gauges current observe
@@ -238,17 +293,39 @@ type server struct {
 	observeSem     chan struct{}
 	shed           atomic.Int64
 	inflight       atomic.Int64
+
+	// Snapshot bookkeeping for /v1/healthz and /metrics: whether a
+	// snapshot restored at startup and how long it took, plus the time
+	// and duration of the most recent save.
+	snapMu         sync.Mutex
+	snapRestored   bool
+	snapRestoreDur time.Duration
+	snapSaves      int64
+	snapLastSave   time.Time
+	snapSaveDur    time.Duration
 }
 
 func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
+	tel := f.Telemetry()
+	if tel == nil {
+		tel = rushprobe.NewTelemetry(rushprobe.TelemetryConfig{})
+	}
 	s := &server{
 		fleet:          f,
 		snapshotPath:   snapshotPath,
 		start:          time.Now(),
 		mux:            http.NewServeMux(),
+		tel:            tel,
+		logger:         tel.Logger,
+		registry:       telemetry.NewRegistry(),
 		requestTimeout: defaultRequestTimeout,
 		observeSem:     make(chan struct{}, defaultMaxInflightObserve),
 	}
+	// Exposition order: fleet counters and gauges first (the families the
+	// daemon has always served), then the stage histograms, then runtime.
+	s.registry.AddFunc(s.collectFleet)
+	tel.Register(s.registry)
+	telemetry.RegisterRuntime(s.registry)
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	s.mux.HandleFunc("/v1/schedule/", s.handleSchedule)
 	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
@@ -257,10 +334,26 @@ func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	// Catch-all: unknown routes get the API's JSON error payload, not
 	// the mux's default text/plain 404 (or an empty body).
 	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
+}
+
+// newOpsMux is the operations listener surface: pprof, the metrics
+// exposition, and the trace ring — kept off the fleet-facing API
+// listener so profiling endpoints are never reachable by nodes.
+func newOpsMux(s *server) *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.HandleFunc("/metrics", s.handleMetrics)
+	m.HandleFunc("/debug/traces", s.handleTraces)
+	return m
 }
 
 // handleNotFound answers any unrouted path with the standard JSON error
@@ -269,16 +362,45 @@ func (s *server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
 }
 
+// statusWriter captures the response status for the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
 // ServeHTTP runs every request under the server's deadline, so a
 // handler stuck on a slow body or a canceled client cannot outlive its
-// budget.
+// budget. It also mints the request ID (echoed as X-Request-ID and
+// carried by the context into the fleet's stage spans) and records the
+// whole request as an http span — which is what triggers the
+// -slow-request auto-log.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	if s.requestTimeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
 		defer cancel()
-		r = r.WithContext(ctx)
 	}
-	s.mux.ServeHTTP(w, r)
+	id := "req-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	ctx = telemetry.WithRequestID(ctx, id)
+	w.Header().Set("X-Request-ID", id)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	s.tel.Traces.Record(telemetry.Span{
+		Request:  id,
+		Stage:    "http",
+		Shard:    -1,
+		Detail:   r.Method + " " + r.URL.Path,
+		Status:   sw.status,
+		Start:    t0,
+		Duration: time.Since(t0),
+	})
 }
 
 // writeJSON sends v with the given status.
@@ -321,7 +443,13 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		case s.observeSem <- struct{}{}:
 			defer func() { <-s.observeSem }()
 		default:
-			s.shed.Add(1)
+			// Shedding under a spike can be very frequent; log the first
+			// and then a 1-in-100 sample so the event is visible without
+			// the log amplifying the overload.
+			if n := s.shed.Add(1); n == 1 || n%100 == 0 {
+				s.logger.Warn("observe shed at ingest capacity",
+					"shedTotal", n, "request", telemetry.RequestID(r.Context()))
+			}
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "ingest at capacity, retry")
 			return
@@ -335,7 +463,7 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	accepted := s.fleet.Observe(req.Observations)
+	accepted := s.fleet.ObserveContext(r.Context(), req.Observations)
 	writeJSON(w, http.StatusOK, observeResponse{Received: len(req.Observations), Accepted: accepted})
 }
 
@@ -360,7 +488,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
 	}
-	sched, err := s.fleet.Schedule(node)
+	sched, err := s.fleet.ScheduleContext(r.Context(), node)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "schedule: %v", err)
 		return
@@ -437,9 +565,47 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 
 // healthResponse is the GET /v1/healthz body.
 type healthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	Snapshot      snapshotHealth `json:"snapshot"`
 	rushprobe.FleetStats
+}
+
+// snapshotHealth is the healthz view of snapshot persistence.
+type snapshotHealth struct {
+	// Configured reports whether the daemon runs with -snapshot at all.
+	Configured bool `json:"configured"`
+	// RestoredAtStartup is true when learned state was restored from the
+	// snapshot file when the daemon started.
+	RestoredAtStartup bool `json:"restoredAtStartup"`
+	// Saves counts snapshot writes since startup (shutdown + POST
+	// /v1/snapshot).
+	Saves int64 `json:"saves"`
+	// LastSaveAgeSeconds is the age of the newest save, -1 before the
+	// first — the staleness alarm input for operators.
+	LastSaveAgeSeconds float64 `json:"lastSaveAgeSeconds"`
+	// LastSaveDurationSeconds and LastRestoreDurationSeconds are the
+	// wall-clock costs of the most recent save and the startup restore.
+	LastSaveDurationSeconds    float64 `json:"lastSaveDurationSeconds"`
+	LastRestoreDurationSeconds float64 `json:"lastRestoreDurationSeconds"`
+}
+
+// snapshotHealth snapshots the server's persistence bookkeeping.
+func (s *server) snapshotHealth() snapshotHealth {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	h := snapshotHealth{
+		Configured:                 s.snapshotPath != "",
+		RestoredAtStartup:          s.snapRestored,
+		Saves:                      s.snapSaves,
+		LastSaveAgeSeconds:         -1,
+		LastSaveDurationSeconds:    s.snapSaveDur.Seconds(),
+		LastRestoreDurationSeconds: s.snapRestoreDur.Seconds(),
+	}
+	if !s.snapLastSave.IsZero() {
+		h.LastSaveAgeSeconds = time.Since(s.snapLastSave).Seconds()
+	}
+	return h
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -450,39 +616,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Snapshot:      s.snapshotHealth(),
 		FleetStats:    s.fleet.Stats(),
 	})
 }
 
-// handleMetrics exposes the daemon's counters in the Prometheus text
-// exposition format, hand-rolled to keep the daemon dependency-free:
-// each metric is a `# HELP`/`# TYPE` pair plus one sample line, with
-// the per-strategy node gauge emitted with sorted label values so
-// consecutive scrapes of an unchanged fleet are byte-identical.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+// expositionContentType is the Prometheus text-format content type.
+const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// collectFleet emits the daemon's counter and gauge families. Labeled
+// gauges use sorted values so consecutive scrapes of an unchanged fleet
+// are byte-identical.
+func (s *server) collectFleet(e *telemetry.Exposition) {
 	st := s.fleet.Stats()
-	var b bytes.Buffer
-	gauge := func(name, help string, v any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge("rushprobe_uptime_seconds", "Seconds since the daemon started.", fmt.Sprintf("%.3f", time.Since(s.start).Seconds()))
-	gauge("rushprobe_nodes", "Tracked per-node profiles.", st.Nodes)
-	counter("rushprobe_observations_accepted_total", "Contact observations folded into profiles.", st.Observations)
-	counter("rushprobe_observations_stale_total", "Observations discarded for arriving in an already-folded epoch.", st.Stale)
-	counter("rushprobe_observations_invalid_total", "Observations rejected outright.", st.Invalid)
-	counter("rushprobe_plan_solves_total", "Optimizer solves.", st.PlanSolves)
-	counter("rushprobe_plan_cache_hits_total", "Schedule requests served from the fingerprint cache.", st.PlanCacheHits)
-	gauge("rushprobe_plan_cache_size", "Distinct plan fingerprints cached.", st.CachedPlans)
-	counter("rushprobe_drift_events_total", "Drift-detector firings that relearned a node.", st.DriftEvents)
-	counter("rushprobe_observe_shed_total", "Observe requests shed at the ingest concurrency bound.", s.shed.Load())
-	gauge("rushprobe_observe_inflight", "Observe requests currently being handled.", s.inflight.Load())
+	e.Gauge("rushprobe_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	e.Gauge("rushprobe_nodes", "Tracked per-node profiles.", float64(st.Nodes))
+	e.Counter("rushprobe_observations_accepted_total", "Contact observations folded into profiles.", float64(st.Observations))
+	e.Counter("rushprobe_observations_stale_total", "Observations discarded for arriving in an already-folded epoch.", float64(st.Stale))
+	e.Counter("rushprobe_observations_invalid_total", "Observations rejected outright.", float64(st.Invalid))
+	e.Counter("rushprobe_plan_solves_total", "Optimizer solves.", float64(st.PlanSolves))
+	e.Counter("rushprobe_plan_cache_hits_total", "Schedule requests served from the fingerprint cache.", float64(st.PlanCacheHits))
+	e.Counter("rushprobe_plan_cache_misses_total", "Schedule requests that missed the fingerprint cache and solved.", float64(st.PlanSolves))
+	e.Gauge("rushprobe_plan_cache_size", "Distinct plan fingerprints cached.", float64(st.CachedPlans))
+	e.Counter("rushprobe_drift_events_total", "Drift-detector firings that relearned a node.", float64(st.DriftEvents))
+	e.Counter("rushprobe_observe_shed_total", "Observe requests shed at the ingest concurrency bound.", float64(s.shed.Load()))
+	e.Gauge("rushprobe_observe_inflight", "Observe requests currently being handled.", float64(s.inflight.Load()))
 
 	byStrategy := s.fleet.StrategyNodes()
 	names := make([]string, 0, len(byStrategy))
@@ -490,14 +648,106 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(&b, "# HELP rushprobe_strategy_nodes Nodes served per strategy in force.\n# TYPE rushprobe_strategy_nodes gauge\n")
+	strat := make([]telemetry.LabelValue, 0, len(names))
 	for _, name := range names {
-		fmt.Fprintf(&b, "rushprobe_strategy_nodes{strategy=%q} %d\n", name, byStrategy[name])
+		strat = append(strat, telemetry.LabelValue{Label: name, Value: float64(byStrategy[name])})
 	}
+	e.LabeledGauge("rushprobe_strategy_nodes", "Nodes served per strategy in force.", "strategy", strat)
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	shardCounts := s.fleet.ShardNodes()
+	shards := make([]telemetry.LabelValue, len(shardCounts))
+	for i, n := range shardCounts {
+		shards[i] = telemetry.LabelValue{Label: strconv.Itoa(i), Value: float64(n)}
+	}
+	e.LabeledGauge("rushprobe_shard_nodes", "Nodes per profile-store shard.", "shard", shards)
+
+	mem := s.fleet.Memory()
+	e.Gauge("rushprobe_profile_bytes", "Estimated resident bytes of all node profiles.", float64(mem.ProfileBytes))
+	e.Gauge("rushprobe_profile_bytes_per_node", "Estimated profile bytes per tracked node.", mem.BytesPerNode)
+
+	sh := s.snapshotHealth()
+	e.Counter("rushprobe_snapshot_saves_total", "Snapshots persisted since startup.", float64(sh.Saves))
+	e.Gauge("rushprobe_snapshot_last_save_age_seconds", "Seconds since the last snapshot save (-1 before the first).", sh.LastSaveAgeSeconds)
+	e.Gauge("rushprobe_snapshot_last_save_seconds", "Duration of the last snapshot save in seconds.", sh.LastSaveDurationSeconds)
+}
+
+// handleMetrics renders the registry — fleet counters, stage latency
+// histograms, runtime gauges — in the Prometheus text exposition
+// format, hand-rolled to keep the daemon dependency-free.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var b bytes.Buffer
+	if err := s.registry.WriteText(&b); err != nil {
+		writeError(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", expositionContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(b.Bytes())
+}
+
+// tracesResponse is the GET /debug/traces body: the most recent spans,
+// newest first, plus the all-time recorded count.
+type tracesResponse struct {
+	Total uint64           `json:"total"`
+	Spans []telemetry.Span `json:"spans"`
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "n must be a positive integer, got %q", q)
+			return
+		}
+		n = v
+	}
+	spans := s.tel.Traces.Last(n)
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{Total: s.tel.Traces.Total(), Spans: spans})
+}
+
+// restoreSnapshot restores the fleet from the configured snapshot at
+// startup (missing file = fresh start) and records the restore for
+// /v1/healthz.
+func (s *server) restoreSnapshot() error {
+	if _, err := os.Stat(s.snapshotPath); errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	t0 := time.Now()
+	if err := loadSnapshot(s.fleet, s.snapshotPath); err != nil {
+		return err
+	}
+	s.snapMu.Lock()
+	s.snapRestored = true
+	s.snapRestoreDur = time.Since(t0)
+	s.snapMu.Unlock()
+	return nil
+}
+
+// persistSnapshot saves the fleet to the configured path and records
+// the save time and duration for /v1/healthz and /metrics.
+func (s *server) persistSnapshot() error {
+	t0 := time.Now()
+	if err := saveSnapshot(s.fleet, s.snapshotPath); err != nil {
+		return err
+	}
+	s.snapMu.Lock()
+	s.snapSaves++
+	s.snapLastSave = time.Now()
+	s.snapSaveDur = s.snapLastSave.Sub(t0)
+	s.snapMu.Unlock()
+	return nil
 }
 
 type snapshotResponse struct {
@@ -514,7 +764,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "daemon started without -snapshot")
 		return
 	}
-	if err := saveSnapshot(s.fleet, s.snapshotPath); err != nil {
+	if err := s.persistSnapshot(); err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
@@ -541,8 +791,12 @@ func smokeContacts(path string) ([]contact.Contact, error) {
 
 // smokeTest exercises the daemon end to end over a real loopback
 // listener: ingest a contact trace for a handful of nodes, fetch each
-// node's schedule and profile, and check the health counters.
-func smokeTest(srv *server, tracePath string, nodes int, out io.Writer) error {
+// node's schedule and profile, check the health counters, and validate
+// the telemetry surface — /metrics must parse in strict text format
+// with the required families and coherent histograms, and the trace
+// ring must have recorded the run. When opsURL is non-empty the ops
+// listener's /metrics and pprof endpoints are exercised too.
+func smokeTest(srv *server, tracePath string, nodes int, opsURL string, out io.Writer) error {
 	if nodes <= 0 {
 		return fmt.Errorf("smoke: need at least one node, got %d", nodes)
 	}
@@ -618,10 +872,95 @@ func smokeTest(srv *server, tracePath string, nodes int, out io.Writer) error {
 		return fmt.Errorf("smoke: plan cache not shared: %d solves, %d hits (want 1, %d)",
 			hr.PlanSolves, hr.PlanCacheHits, nodes-1)
 	}
+	if hr.Snapshot.Configured != (srv.snapshotPath != "") {
+		return fmt.Errorf("smoke: healthz snapshot block reports configured=%v with snapshot path %q",
+			hr.Snapshot.Configured, srv.snapshotPath)
+	}
 	fmt.Fprintf(out, "smoke: healthz ok — %d nodes, %d observations, %d plan solves, %d cache hits\n",
 		hr.Nodes, hr.Observations, hr.PlanSolves, hr.PlanCacheHits)
+
+	if err := smokeMetrics(base, out); err != nil {
+		return err
+	}
+	var tr tracesResponse
+	if err := getJSON(base+"/debug/traces?n=10", &tr); err != nil {
+		return err
+	}
+	if tr.Total == 0 || len(tr.Spans) == 0 {
+		return fmt.Errorf("smoke: trace ring is empty after the run (total %d, %d spans)", tr.Total, len(tr.Spans))
+	}
+	fmt.Fprintf(out, "smoke: traces ok — %d spans recorded, newest stage %q\n", tr.Total, tr.Spans[0].Stage)
+
+	if opsURL != "" {
+		if _, err := scrapeMetrics(opsURL + "/metrics"); err != nil {
+			return fmt.Errorf("smoke: ops listener metrics: %w", err)
+		}
+		resp, err := http.Get(opsURL + "/debug/pprof/cmdline")
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke: pprof cmdline: HTTP %d", resp.StatusCode)
+		}
+		fmt.Fprintln(out, "smoke: ops listener ok (metrics + pprof)")
+	}
 	fmt.Fprintln(out, "smoke: OK")
 	return nil
+}
+
+// requiredFamilies are the metric families a healthy daemon must
+// expose; the smoke test (and CI's daemon smoke step behind it) fails
+// if any is missing or malformed.
+var requiredFamilies = []string{
+	"rushprobe_ingest_batch_seconds",
+	"rushprobe_plan_cache_hits_total",
+	"rushprobe_plan_cache_misses_total",
+	"rushprobe_profile_bytes_per_node",
+	"rushprobe_drift_events_total",
+}
+
+// smokeMetrics scrapes and validates the daemon's exposition.
+func smokeMetrics(base string, out io.Writer) error {
+	fams, err := scrapeMetrics(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	for _, name := range requiredFamilies {
+		if _, ok := fams[name]; !ok {
+			return fmt.Errorf("smoke: /metrics is missing the %s family", name)
+		}
+	}
+	ingest := fams["rushprobe_ingest_batch_seconds"]
+	if err := ingest.ValidateHistogram(); err != nil {
+		return fmt.Errorf("smoke: ingest histogram: %w", err)
+	}
+	ih := ingest.Histogram()
+	if ih.Count < 1 {
+		return errors.New("smoke: ingest histogram counted no batches after ingesting the trace")
+	}
+	fmt.Fprintf(out, "smoke: metrics ok — %d families, ingest p99 %.3f ms over %.0f batches\n",
+		len(fams), ih.Quantile(0.99)*1e3, ih.Count)
+	return nil
+}
+
+// scrapeMetrics fetches and strictly parses a Prometheus text
+// exposition — the same parser rushbench uses, so smoke failures and
+// bench scrapes agree on what well-formed means.
+func scrapeMetrics(url string) (map[string]*telemetry.Family, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != expositionContentType {
+		return nil, fmt.Errorf("metrics: Content-Type %q, want %q", ct, expositionContentType)
+	}
+	return telemetry.ParseText(resp.Body)
 }
 
 func postJSON(url string, body []byte, v any) error {

@@ -1,6 +1,7 @@
 package rushprobe
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -112,10 +113,26 @@ func NewFleet(base *Scenario, opts ...FleetOption) (*Fleet, error) {
 // path allocates nothing.
 func (f *Fleet) Observe(batch []Observation) int { return f.inner.Observe(batch) }
 
+// ObserveContext is Observe with request-scoped telemetry: with a
+// WithTelemetry bundle armed, the batch is timed into the ingest
+// histogram and traced under the context's request ID (see
+// rushprobe/internal/telemetry request-ID helpers re-exported through
+// the daemon). Without telemetry it is exactly Observe.
+func (f *Fleet) ObserveContext(ctx context.Context, batch []Observation) int {
+	return f.inner.ObserveContext(ctx, batch)
+}
+
 // Schedule returns the probing plan currently in force for the node.
 // Cold or still-bootstrapping nodes receive the shared SNIP-AT
 // bootstrap plan, so any node ID is servable.
 func (f *Fleet) Schedule(node string) (*Schedule, error) { return f.inner.Schedule(node) }
+
+// ScheduleContext is Schedule with request-scoped telemetry: serving is
+// timed and traced with its cache outcome (bootstrap / node / hit /
+// miss) when the fleet carries a telemetry bundle.
+func (f *Fleet) ScheduleContext(ctx context.Context, node string) (*Schedule, error) {
+	return f.inner.ScheduleContext(ctx, node)
+}
 
 // Profile reports a node's learned state without creating any.
 func (f *Fleet) Profile(node string) (NodeProfile, error) { return f.inner.Profile(node) }
@@ -138,6 +155,19 @@ func (f *Fleet) Stats() FleetStats { return f.inner.Stats() }
 // default). It takes each shard lock once; call it at scrape cadence,
 // not per request.
 func (f *Fleet) StrategyNodes() map[string]int { return f.inner.StrategyNodes() }
+
+// ShardNodes returns the node count of each profile shard, in shard
+// order — the shard-balance gauge.
+func (f *Fleet) ShardNodes() []int { return f.inner.ShardNodes() }
+
+// Memory estimates the profile store's resident size, including the
+// bytes/node gauge. It takes each shard lock once; call it at scrape
+// cadence.
+func (f *Fleet) Memory() FleetMemoryStats { return f.inner.Memory() }
+
+// Telemetry returns the bundle attached with WithTelemetry (nil when
+// the fleet runs untelemetered).
+func (f *Fleet) Telemetry() *Telemetry { return f.inner.Telemetry() }
 
 // Snapshot writes the fleet's learned state as JSON. Snapshot bytes are
 // deterministic (nodes sorted by ID) and float-exact, so a Restore

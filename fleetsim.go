@@ -51,6 +51,23 @@ type FleetSimSummary struct {
 	// nodes, in epochs: a shift at the start of epoch E detected while
 	// folding epoch E counts as 1. Zero when nothing was detected.
 	MeanDetectionLatency float64
+	// StageTimings is the per-epoch wall-clock cost of the fleet
+	// interactions (ingest flushes, epoch folds, schedule fetches),
+	// summed across nodes. Unlike every field above it measures the host
+	// machine, so it varies run to run and is NOT part of the
+	// deterministic output surface.
+	StageTimings []FleetStageTiming
+}
+
+// FleetStageTiming is one epoch's wall-clock accounting of the
+// co-simulation's fleet calls.
+type FleetStageTiming struct {
+	// Epoch is the zero-based epoch the cost is attributed to.
+	Epoch int
+	// IngestSeconds, AdvanceSeconds, and ScheduleSeconds are the summed
+	// host-seconds all nodes spent in Observe, AdvanceEpoch, and
+	// Schedule for this epoch.
+	IngestSeconds, AdvanceSeconds, ScheduleSeconds float64
 }
 
 // SimulateFleet closes the loop between the simulator and the fleet
@@ -130,6 +147,15 @@ func SimulateFleet(s *Scenario, m Mechanism, opts ...SimOption) (*FleetSimSummar
 		DetectedDriftNodes:   res.DetectedDriftNodes,
 		StationaryAlarms:     res.StationaryAlarms,
 		MeanDetectionLatency: res.MeanDetectionLatency,
+		StageTimings:         make([]FleetStageTiming, len(res.StageTimings)),
+	}
+	for i, st := range res.StageTimings {
+		out.StageTimings[i] = FleetStageTiming{
+			Epoch:           st.Epoch,
+			IngestSeconds:   st.IngestSeconds,
+			AdvanceSeconds:  st.AdvanceSeconds,
+			ScheduleSeconds: st.ScheduleSeconds,
+		}
 	}
 	for i, p := range res.PerEpoch {
 		out.PerEpoch[i] = FleetEpoch{

@@ -35,11 +35,13 @@ type cacheEntry struct {
 }
 
 // get returns the cached schedule for the key, solving it exactly once
-// on first demand. Errors are cached too — a failed solve is
-// deterministic in its inputs, so retrying cannot help.
-func (c *planCache) get(key planKey, solve func() (*Schedule, error)) (*Schedule, error) {
+// on first demand, and reports whether the entry already existed (a
+// cache hit). Errors are cached too — a failed solve is deterministic
+// in its inputs, so retrying cannot help.
+func (c *planCache) get(key planKey, solve func() (*Schedule, error)) (*Schedule, bool, error) {
 	c.mu.Lock()
 	e := c.entries[key]
+	hit := e != nil
 	if e == nil {
 		e = &cacheEntry{}
 		c.entries[key] = e
@@ -51,5 +53,5 @@ func (c *planCache) get(key planKey, solve func() (*Schedule, error)) (*Schedule
 		c.solves.Add(1)
 		e.sched, e.err = solve()
 	})
-	return e.sched, e.err
+	return e.sched, hit, e.err
 }

@@ -1,6 +1,10 @@
 package fleet
 
-import "rushprobe/internal/drift"
+import (
+	"unsafe"
+
+	"rushprobe/internal/drift"
+)
 
 // monitor bundles the three detectors watching one node's per-epoch
 // observation streams: the probed contact rate (contacts per epoch),
@@ -48,4 +52,17 @@ func (m *monitor) reset() {
 	m.rate.Reset()
 	m.length.Reset()
 	m.share.Reset()
+}
+
+// detectorBytes approximates one stream detector's resident size: the
+// concrete CUSUM / Page–Hinkley structs are a warmup baseline plus a
+// handful of float64 registers, which 96 bytes covers with headroom.
+// Kept as an estimate rather than a Detector interface method so
+// alternative detectors don't have to implement accounting.
+const detectorBytes = 96
+
+// footprint estimates the monitor's resident bytes for the fleet's
+// bytes/node gauge.
+func (m *monitor) footprint() int {
+	return int(unsafe.Sizeof(*m)) + 3*detectorBytes
 }

@@ -19,17 +19,20 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rushprobe/internal/drift"
 	"rushprobe/internal/scenario"
 	"rushprobe/internal/simtime"
 	"rushprobe/internal/strategy"
+	"rushprobe/internal/telemetry"
 )
 
 // Canonical names of the strategies the fleet most commonly serves
@@ -143,6 +146,12 @@ type Config struct {
 	// DriftTuning overrides the detector defaults; the zero value
 	// selects the drift package defaults.
 	DriftTuning drift.Config
+	// Telemetry, when non-nil, arms per-stage latency histograms and
+	// span tracing around ingest, schedule serving, optimizer solves,
+	// snapshot save/restore, and AdvanceEpoch, and routes drift firings
+	// through its structured logger. nil (the default) keeps every
+	// instrumented path at a single pointer compare of overhead.
+	Telemetry *telemetry.Telemetry
 }
 
 // withDefaults resolves the zero-value fields.
@@ -363,6 +372,34 @@ func (f *Fleet) shardOf(node string) *shard { return &f.shards[f.shardIndex(node
 // or poison the learned state with values that overflow the EWMAs. The
 // steady-state path allocates nothing.
 func (f *Fleet) Observe(batch []Observation) int {
+	return f.ObserveContext(context.Background(), batch)
+}
+
+// ObserveContext is Observe with request-scoped telemetry: when the
+// fleet carries a Telemetry bundle, the batch is timed into the ingest
+// histogram and recorded as a span tagged with the context's request
+// ID. With telemetry disabled it is exactly Observe.
+func (f *Fleet) ObserveContext(ctx context.Context, batch []Observation) int {
+	tel := f.cfg.Telemetry
+	if tel == nil {
+		return f.observe(batch)
+	}
+	start := time.Now()
+	accepted := f.observe(batch)
+	d := time.Since(start)
+	tel.Ingest.Observe(d)
+	tel.Traces.Record(telemetry.Span{
+		Request:  telemetry.RequestID(ctx),
+		Stage:    "ingest",
+		Shard:    -1,
+		Count:    len(batch),
+		Start:    start,
+		Duration: d,
+	})
+	return accepted
+}
+
+func (f *Fleet) observe(batch []Observation) int {
 	accepted := 0
 	for i := range batch {
 		o := &batch[i]
@@ -447,6 +484,14 @@ func (f *Fleet) foldEpoch(p *profile) {
 		p.lastDrift = p.epoch
 		p.sched = nil
 		f.driftEvents.Add(1)
+		if tel := f.cfg.Telemetry; tel != nil {
+			// Drift firings are rare and operators page on them; surface
+			// each one as a structured event, not just a counter bump.
+			tel.Logger.Info("drift detected, node relearning",
+				"node", p.id,
+				"epoch", p.epoch,
+				"nodeDriftEvents", p.driftEvents)
+		}
 	}
 }
 
@@ -485,6 +530,26 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 // write: it admits an unknown node into the store. Epochs the node has
 // already folded are a no-op, so the hook is idempotent per boundary.
 func (f *Fleet) AdvanceEpoch(node string, epoch int) error {
+	tel := f.cfg.Telemetry
+	if tel == nil {
+		return f.advanceEpoch(node, epoch)
+	}
+	start := time.Now()
+	err := f.advanceEpoch(node, epoch)
+	d := time.Since(start)
+	tel.AdvanceEpoch.Observe(d)
+	tel.Traces.Record(telemetry.Span{
+		Stage:    "epoch",
+		Node:     node,
+		Shard:    f.shardIndex(node),
+		Count:    epoch,
+		Start:    start,
+		Duration: d,
+	})
+	return err
+}
+
+func (f *Fleet) advanceEpoch(node string, epoch int) error {
 	if node == "" {
 		return errors.New("fleet: empty node ID")
 	}
@@ -516,8 +581,43 @@ func (f *Fleet) AdvanceEpoch(node string, epoch int) error {
 // cannot grow memory. The returned Schedule is shared and must not be
 // modified.
 func (f *Fleet) Schedule(node string) (*Schedule, error) {
+	return f.ScheduleContext(context.Background(), node)
+}
+
+// ScheduleContext is Schedule with request-scoped telemetry: when the
+// fleet carries a Telemetry bundle, serving is timed into the schedule
+// histogram and recorded as a span tagged with the context's request ID
+// and how the plan was satisfied (bootstrap, per-node cache, plan-cache
+// hit, or a fresh solve). With telemetry disabled it is exactly
+// Schedule.
+func (f *Fleet) ScheduleContext(ctx context.Context, node string) (*Schedule, error) {
+	tel := f.cfg.Telemetry
+	if tel == nil {
+		s, _, err := f.schedule(node)
+		return s, err
+	}
+	start := time.Now()
+	s, source, err := f.schedule(node)
+	d := time.Since(start)
+	tel.Schedule.Observe(d)
+	tel.Traces.Record(telemetry.Span{
+		Request:  telemetry.RequestID(ctx),
+		Stage:    "schedule",
+		Node:     node,
+		Shard:    f.shardIndex(node),
+		Cache:    source,
+		Start:    start,
+		Duration: d,
+	})
+	return s, err
+}
+
+// schedule serves the plan and reports how it was satisfied: "bootstrap"
+// (cold or pinned node), "node" (the profile's own cached pointer),
+// "hit" (shared plan cache), or "miss" (a fresh optimizer solve).
+func (f *Fleet) schedule(node string) (*Schedule, string, error) {
 	if node == "" {
-		return nil, errors.New("fleet: empty node ID")
+		return nil, "", errors.New("fleet: empty node ID")
 	}
 	sh := f.shardOf(node)
 	sh.mu.Lock()
@@ -528,29 +628,49 @@ func (f *Fleet) Schedule(node string) (*Schedule, error) {
 		// profile: zero completed epochs means the bootstrap plan (a
 		// BootstrapEpochs of 0 only graduates nodes that exist, and they
 		// only exist once they have observed).
-		return f.bootstrap, nil
+		return f.bootstrap, "bootstrap", nil
 	}
 	if p.sched != nil {
-		return p.sched, nil
+		return p.sched, "node", nil
 	}
 	strat := f.strategyInForce(p)
 	if strat == MechanismAT || p.learner.Epochs() < f.cfg.BootstrapEpochs {
 		p.sched = f.bootstrap
-		return p.sched, nil
+		return p.sched, "bootstrap", nil
 	}
 	sc := f.learnedScenario(p)
 	fp, err := sc.Fingerprint()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	sched, err := f.cache.get(planKey{fp: fp, strategy: strat}, func() (*Schedule, error) {
-		return f.solve(strat, sc, fp)
+	sched, hit, err := f.cache.get(planKey{fp: fp, strategy: strat}, func() (*Schedule, error) {
+		tel := f.cfg.Telemetry
+		if tel == nil {
+			return f.solve(strat, sc, fp)
+		}
+		t0 := time.Now()
+		s, err := f.solve(strat, sc, fp)
+		d := time.Since(t0)
+		tel.Solve.Observe(d)
+		tel.Traces.Record(telemetry.Span{
+			Stage:    "solve",
+			Node:     node,
+			Shard:    f.shardIndex(node),
+			Detail:   strat,
+			Start:    t0,
+			Duration: d,
+		})
+		return s, err
 	})
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	source := "hit"
+	if !hit {
+		source = "miss"
 	}
 	p.sched = sched
-	return sched, nil
+	return sched, source, nil
 }
 
 // ScheduleBatch returns the probing plan currently in force for each
@@ -713,3 +833,53 @@ func (f *Fleet) StrategyNodes() map[string]int {
 	}
 	return out
 }
+
+// ShardNodes returns the node count of each profile shard, in shard
+// order — the balance gauge behind rushprobe_shard_nodes. O(shards),
+// one lock acquisition each.
+func (f *Fleet) ShardNodes() []int {
+	out := make([]int, len(f.shards))
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.nodes)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// MemoryStats estimates the profile store's resident size.
+type MemoryStats struct {
+	// Nodes is the number of tracked profiles.
+	Nodes int `json:"nodes"`
+	// ProfileBytes is the estimated bytes held by all profiles: structs,
+	// learner slices, drift detectors, and map-entry overhead. It is a
+	// capacity-planning estimate, not a heap accounting.
+	ProfileBytes int64 `json:"profileBytes"`
+	// BytesPerNode is ProfileBytes / Nodes (0 for an empty fleet) — the
+	// gauge the million-node sizing work tracks.
+	BytesPerNode float64 `json:"bytesPerNode"`
+}
+
+// Memory walks the shards and sums each profile's estimated footprint.
+// It takes each shard lock once; call it at scrape cadence, not on the
+// ingest path.
+func (f *Fleet) Memory() MemoryStats {
+	var m MemoryStats
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		m.Nodes += len(sh.nodes)
+		for _, p := range sh.nodes {
+			m.ProfileBytes += int64(p.footprint())
+		}
+		sh.mu.Unlock()
+	}
+	if m.Nodes > 0 {
+		m.BytesPerNode = float64(m.ProfileBytes) / float64(m.Nodes)
+	}
+	return m
+}
+
+// Telemetry returns the fleet's telemetry bundle (nil when disabled).
+func (f *Fleet) Telemetry() *telemetry.Telemetry { return f.cfg.Telemetry }

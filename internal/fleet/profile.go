@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"math"
+	"unsafe"
 
 	"rushprobe/internal/dist"
 	"rushprobe/internal/learn"
@@ -66,6 +67,27 @@ func (f *Fleet) newProfile(node string) *profile {
 		firstDrift: -1,
 		lastDrift:  -1,
 	}
+}
+
+// mapEntryOverhead approximates what a shard's nodes map spends per
+// entry beyond the profile itself: the string key's bytes live once
+// more in the key header's backing array reference, plus the value
+// pointer and amortized bucket overhead.
+const mapEntryOverhead = 48
+
+// footprint estimates the profile's resident bytes: the struct, its ID
+// string (stored here and referenced again as the map key), the learn
+// estimators, the drift monitor, and the shard map's per-entry
+// overhead. The cached *Schedule is shared fleet-wide and deliberately
+// counted as just its pointer (already inside Sizeof). Callers hold the
+// shard lock.
+func (p *profile) footprint() int {
+	n := int(unsafe.Sizeof(*p)) + len(p.id) + mapEntryOverhead
+	n += p.length.Footprint() + p.upload.Footprint() + p.learner.Footprint()
+	if p.mon != nil {
+		n += p.mon.footprint()
+	}
+	return n
 }
 
 // strategyInForce resolves the strategy serving this profile: its

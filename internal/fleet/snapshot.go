@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"rushprobe/internal/drift"
 	"rushprobe/internal/learn"
 	"rushprobe/internal/strategy"
+	"rushprobe/internal/telemetry"
 )
 
 // snapshotVersion is bumped on incompatible snapshot layout changes.
@@ -249,22 +251,60 @@ func (f *Fleet) restoreDrift(p *profile, ds *NodeDriftState) error {
 	return nil
 }
 
-// WriteSnapshot serializes the fleet's state as JSON.
+// WriteSnapshot serializes the fleet's state as JSON. With telemetry
+// armed, the full snapshot+encode pass is timed into the snapshot-save
+// histogram and recorded as a span carrying the node count.
 func (f *Fleet) WriteSnapshot(w io.Writer) error {
+	tel := f.cfg.Telemetry
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
+	s := f.Snapshot()
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(f.Snapshot()); err != nil {
+	err := enc.Encode(s)
+	if tel != nil {
+		d := time.Since(start)
+		tel.SnapshotSave.Observe(d)
+		tel.Traces.Record(telemetry.Span{
+			Stage:    "snapshot-save",
+			Shard:    -1,
+			Count:    len(s.Nodes),
+			Start:    start,
+			Duration: d,
+		})
+	}
+	if err != nil {
 		return fmt.Errorf("fleet: encode snapshot: %w", err)
 	}
 	return nil
 }
 
 // ReadSnapshot restores the fleet's state from JSON written by
-// WriteSnapshot.
+// WriteSnapshot. With telemetry armed, the decode+restore pass is timed
+// into the snapshot-restore histogram.
 func (f *Fleet) ReadSnapshot(r io.Reader) error {
+	tel := f.cfg.Telemetry
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
 	var s Snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&s); err != nil {
 		return fmt.Errorf("fleet: decode snapshot: %w", err)
 	}
-	return f.Restore(&s)
+	err := f.Restore(&s)
+	if tel != nil {
+		d := time.Since(start)
+		tel.SnapshotRestore.Observe(d)
+		tel.Traces.Record(telemetry.Span{
+			Stage:    "snapshot-restore",
+			Shard:    -1,
+			Count:    len(s.Nodes),
+			Start:    start,
+			Duration: d,
+		})
+	}
+	return err
 }

@@ -207,6 +207,31 @@ type Result struct {
 	// nodes, in epochs: a shift at the start of epoch E detected while
 	// folding epoch E counts as 1. Zero when nothing was detected.
 	MeanDetectionLatency float64
+	// StageTimings is the wall-clock cost of the fleet interactions per
+	// epoch, summed across nodes. Unlike every other field it measures
+	// the host machine, not the simulated system: it is NOT part of the
+	// deterministic result surface, and determinism comparisons must
+	// zero it first (see Result.ZeroStageTimings).
+	StageTimings []StageTiming
+}
+
+// StageTiming aggregates one epoch's fleet-interaction wall-clock cost
+// across the population: ingest flushes, AdvanceEpoch folds, and
+// schedule fetches, in seconds.
+type StageTiming struct {
+	Epoch           int
+	IngestSeconds   float64
+	AdvanceSeconds  float64
+	ScheduleSeconds float64
+}
+
+// ZeroStageTimings clears the non-deterministic wall-clock measurements
+// in place, leaving only the deterministic result surface — what
+// bit-identity tests and golden comparisons should look at.
+func (r *Result) ZeroStageTimings() {
+	for i := range r.StageTimings {
+		r.StageTimings[i] = StageTiming{Epoch: r.StageTimings[i].Epoch}
+	}
 }
 
 // nodeOutcome is one node's per-epoch series from both passes.
@@ -214,6 +239,8 @@ type nodeOutcome struct {
 	zeta, phi             []float64
 	oracleZeta, oraclePhi []float64
 	drifted               bool
+
+	ingestSec, advanceSec, scheduleSec []float64
 }
 
 // Simulate runs the closed-loop co-simulation the spec describes.
@@ -254,15 +281,19 @@ func Simulate(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Strategy: spec.Strategy,
-		Nodes:    spec.Nodes,
-		Epochs:   spec.Epochs,
-		PerEpoch: make([]EpochPoint, spec.Epochs),
+		Strategy:     spec.Strategy,
+		Nodes:        spec.Nodes,
+		Epochs:       spec.Epochs,
+		PerEpoch:     make([]EpochPoint, spec.Epochs),
+		StageTimings: make([]StageTiming, spec.Epochs),
 	}
 	// Fold in node-index order so the aggregate is bit-identical for
-	// every parallelism (float addition is not associative).
+	// every parallelism (float addition is not associative). The stage
+	// timings folded alongside are wall-clock and inherently vary run to
+	// run; only their fold order is deterministic.
 	for e := range res.PerEpoch {
 		res.PerEpoch[e].Epoch = e
+		res.StageTimings[e].Epoch = e
 	}
 	for i := range outcomes {
 		o := &outcomes[i]
@@ -274,6 +305,9 @@ func Simulate(spec Spec) (*Result, error) {
 			res.PerEpoch[e].Phi += o.phi[e]
 			res.PerEpoch[e].OracleZeta += o.oracleZeta[e]
 			res.PerEpoch[e].OraclePhi += o.oraclePhi[e]
+			res.StageTimings[e].IngestSeconds += o.ingestSec[e]
+			res.StageTimings[e].AdvanceSeconds += o.advanceSec[e]
+			res.StageTimings[e].ScheduleSeconds += o.scheduleSec[e]
 		}
 	}
 	inv := 1 / float64(spec.Nodes)
@@ -329,7 +363,7 @@ func (spec *Spec) runNode(flt *fleet.Fleet, strat strategy.Strategy, id string, 
 		return nil, err
 	}
 	seed := uint64(rng.DeriveN(spec.Seed, "fleetsim-run", i).Intn(1 << 31))
-	loop := &nodeLoop{fleet: flt, id: id, phiMax: spec.Base.PhiMax, strategy: spec.Strategy}
+	loop := newNodeLoop(flt, id, spec.Base.PhiMax, spec.Strategy, spec.Epochs)
 	cfg := sim.Config{
 		Scenario:     w.sc,
 		NewScheduler: func() (core.Scheduler, error) { return loop, nil },
@@ -373,11 +407,14 @@ func (spec *Spec) runNode(flt *fleet.Fleet, strat strategy.Strategy, id string, 
 	}
 
 	out := &nodeOutcome{
-		zeta:       make([]float64, spec.Epochs),
-		phi:        make([]float64, spec.Epochs),
-		oracleZeta: make([]float64, spec.Epochs),
-		oraclePhi:  make([]float64, spec.Epochs),
-		drifted:    w.shifted != nil,
+		zeta:        make([]float64, spec.Epochs),
+		phi:         make([]float64, spec.Epochs),
+		oracleZeta:  make([]float64, spec.Epochs),
+		oraclePhi:   make([]float64, spec.Epochs),
+		drifted:     w.shifted != nil,
+		ingestSec:   loop.ingestSec,
+		advanceSec:  loop.advanceSec,
+		scheduleSec: loop.scheduleSec,
 	}
 	for e := 0; e < spec.Epochs; e++ {
 		out.zeta[e] = res.Epochs[e].Zeta

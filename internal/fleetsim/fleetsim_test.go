@@ -25,6 +25,9 @@ func smokeSpec() Spec {
 // TestSimulateParallelMatchesSerial is the determinism contract: the
 // co-simulation's output — convergence curves, drift counts, plan-cache
 // counters, everything — must be bit-identical for any parallelism.
+// The one exception is StageTimings: it measures host wall-clock, which
+// no two runs share, so it is zeroed out of the comparison (that the
+// timings exist and are populated is pinned separately).
 func TestSimulateParallelMatchesSerial(t *testing.T) {
 	serial := smokeSpec()
 	serial.Parallelism = 1
@@ -38,8 +41,37 @@ func TestSimulateParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	a.ZeroStageTimings()
+	b.ZeroStageTimings()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("parallel co-simulation differs from serial:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+// TestStageTimingsPopulated pins the per-epoch stage accounting: one
+// timing row per epoch, in order, with non-negative entries, and a
+// non-zero total (a whole run cannot take literally zero wall-clock in
+// every fleet interaction).
+func TestStageTimingsPopulated(t *testing.T) {
+	res, err := Simulate(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageTimings) != res.Epochs {
+		t.Fatalf("got %d timing rows, want %d", len(res.StageTimings), res.Epochs)
+	}
+	total := 0.0
+	for e, st := range res.StageTimings {
+		if st.Epoch != e {
+			t.Fatalf("timing row %d has epoch %d", e, st.Epoch)
+		}
+		if st.IngestSeconds < 0 || st.AdvanceSeconds < 0 || st.ScheduleSeconds < 0 {
+			t.Fatalf("negative stage timing at epoch %d: %+v", e, st)
+		}
+		total += st.IngestSeconds + st.AdvanceSeconds + st.ScheduleSeconds
+	}
+	if total <= 0 {
+		t.Fatal("all stage timings are zero; the loop is not timing its fleet calls")
 	}
 }
 

@@ -1,6 +1,8 @@
 package fleetsim
 
 import (
+	"time"
+
 	"rushprobe/internal/core"
 	"rushprobe/internal/fleet"
 	"rushprobe/internal/simtime"
@@ -23,6 +25,41 @@ type nodeLoop struct {
 	duty    []float64
 	pending []fleet.Observation
 	err     error
+
+	// Per-epoch wall-clock seconds this node spent in each fleet
+	// interaction (flush/ingest, AdvanceEpoch, Schedule). Timings are
+	// measurements of the host machine, not simulated time — they ride
+	// next to the deterministic outcome, never inside it.
+	ingestSec   []float64
+	advanceSec  []float64
+	scheduleSec []float64
+}
+
+// newNodeLoop builds the closed-loop scheduler for one node over an
+// epochs-long horizon.
+func newNodeLoop(flt *fleet.Fleet, id string, phiMax float64, strategyName string, epochs int) *nodeLoop {
+	return &nodeLoop{
+		fleet:       flt,
+		id:          id,
+		phiMax:      phiMax,
+		strategy:    strategyName,
+		ingestSec:   make([]float64, epochs),
+		advanceSec:  make([]float64, epochs),
+		scheduleSec: make([]float64, epochs),
+	}
+}
+
+// timingIndex maps an epoch-boundary event to the epoch its cost is
+// attributed to: boundary e serves epoch e, and the final finish()
+// pass (boundary == horizon) folds into the last epoch.
+func (l *nodeLoop) timingIndex(epoch int) int {
+	if epoch >= len(l.ingestSec) {
+		return len(l.ingestSec) - 1
+	}
+	if epoch < 0 {
+		return 0
+	}
+	return epoch
 }
 
 // Name reports the strategy the fleet serves this node.
@@ -58,16 +95,23 @@ func (l *nodeLoop) OnEpochStart(epoch int) {
 	if l.err != nil {
 		return
 	}
+	i := l.timingIndex(epoch)
+	t0 := time.Now()
 	l.flush()
+	t1 := time.Now()
+	l.ingestSec[i] += t1.Sub(t0).Seconds()
 	if err := l.fleet.AdvanceEpoch(l.id, epoch); err != nil {
 		l.err = err
 		return
 	}
+	t2 := time.Now()
+	l.advanceSec[i] += t2.Sub(t1).Seconds()
 	sched, err := l.fleet.Schedule(l.id)
 	if err != nil {
 		l.err = err
 		return
 	}
+	l.scheduleSec[i] += time.Since(t2).Seconds()
 	l.duty = sched.Duty
 }
 
@@ -98,8 +142,14 @@ func (l *nodeLoop) finish(epochs int) error {
 	if l.err != nil {
 		return l.err
 	}
+	i := l.timingIndex(epochs)
+	t0 := time.Now()
 	l.flush()
-	return l.fleet.AdvanceEpoch(l.id, epochs)
+	t1 := time.Now()
+	l.ingestSec[i] += t1.Sub(t0).Seconds()
+	err := l.fleet.AdvanceEpoch(l.id, epochs)
+	l.advanceSec[i] += time.Since(t1).Seconds()
+	return err
 }
 
 // oracleLoop follows the plan an omniscient scheduler would fly: the

@@ -9,6 +9,7 @@ package learn
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"rushprobe/internal/stats"
 )
@@ -62,6 +63,13 @@ func (c *ContactLength) Mean() float64 {
 // Samples returns how many contacts have been observed.
 func (c *ContactLength) Samples() int { return c.ewma.Count() }
 
+// Footprint estimates the estimator's resident size in bytes — the
+// struct plus its heap-allocated EWMA — for per-node capacity
+// accounting.
+func (c *ContactLength) Footprint() int {
+	return int(unsafe.Sizeof(*c)) + int(unsafe.Sizeof(*c.ewma))
+}
+
 // UploadAmount tracks the learned mean bytes uploaded per probed contact,
 // which SNIP-RH uses as the "enough data buffered" threshold (condition 2
 // of §VI.B).
@@ -97,6 +105,11 @@ func (u *UploadAmount) Threshold() float64 {
 		return u.prior
 	}
 	return u.ewma.Value()
+}
+
+// Footprint estimates the estimator's resident size in bytes.
+func (u *UploadAmount) Footprint() int {
+	return int(unsafe.Sizeof(*u)) + int(unsafe.Sizeof(*u.ewma))
 }
 
 // RushHourLearner estimates each slot's contact capacity from observed
@@ -162,6 +175,18 @@ func (l *RushHourLearner) EndEpoch() {
 
 // Epochs returns how many epochs have been folded in.
 func (l *RushHourLearner) Epochs() int { return l.epochs }
+
+// Footprint estimates the learner's resident size in bytes: the struct,
+// its per-slot accumulator and EWMA-pointer slices, and the EWMAs
+// themselves. Per-slot state dominates a node's footprint, which is
+// what makes this the interesting term in the fleet's bytes/node gauge.
+func (l *RushHourLearner) Footprint() int {
+	n := int(unsafe.Sizeof(*l))
+	n += cap(l.epochCap) * int(unsafe.Sizeof(float64(0)))
+	n += cap(l.perEpoch) * int(unsafe.Sizeof((*stats.EWMA)(nil)))
+	n += l.slots * int(unsafe.Sizeof(stats.EWMA{}))
+	return n
+}
 
 // Relearn discards the learner's ranking evidence and epoch count,
 // returning the node to its bootstrap phase. The fleet calls this when

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket scheme: log-2 buckets over duration in nanoseconds.
+// Bucket i (i < histBuckets-1) has the upper bound 2^(histShift+i) ns,
+// so the finite buckets span 1.024 µs .. ~137 s; the last bucket is the
+// +Inf catch-all. Powers of two make the index a bit-length computation
+// (no float math, no branches worth mentioning) on the ingest hot path.
+const (
+	histShift   = 10 // first finite upper bound: 2^10 ns = 1.024 µs
+	histBuckets = 29 // 28 finite bounds + the +Inf catch-all
+)
+
+// histShards is how many independently updated counter banks a
+// histogram spreads its samples across, so concurrent observers do not
+// serialize on one cache line. Merging at scrape time walks all of
+// them.
+const histShards = 8
+
+// histShard is one bank of bucket counters. The pad keeps two shards
+// off the same cache line (the structs sit in a contiguous array).
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sumNs  atomic.Uint64 // total observed duration, nanoseconds
+	_      [64]byte
+}
+
+// Histogram is a fixed-bucket, sharded-atomic latency histogram. The
+// zero value is not usable; create them with NewHistogram. Observe is
+// safe for concurrent use and never allocates.
+type Histogram struct {
+	name   string
+	help   string
+	shards [histShards]histShard
+}
+
+// NewHistogram returns a histogram exposed under the given Prometheus
+// family name (conventionally ending in _seconds).
+func NewHistogram(name, help string) *Histogram {
+	return &Histogram{name: name, help: help}
+}
+
+// Name returns the histogram's metric family name.
+func (h *Histogram) Name() string { return h.name }
+
+// bucketIndex maps a duration to its bucket. Negative durations (clock
+// steps) land in the first bucket rather than corrupting an index.
+func bucketIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d) >> histShift)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration. Allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	// Shard by a mixed hash of the sample itself: durations differ in
+	// their low bits (nanosecond clock), and the multiply spreads that
+	// entropy into the top bits. No extra state, no contention point.
+	s := &h.shards[(uint64(d)*0x9E3779B97F4A7C15)>>(64-3)]
+	s.counts[bucketIndex(d)].Add(1)
+	s.sumNs.Add(uint64(d))
+}
+
+// Since is shorthand for Observe(time.Since(t0)).
+func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// HistogramSnapshot is a merged, point-in-time copy of a histogram's
+// counters: per-bucket (non-cumulative) counts, total count, and the
+// sum of observations in seconds.
+type HistogramSnapshot struct {
+	Name    string
+	Help    string
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     float64 // seconds
+}
+
+// Snapshot merges the shards. Concurrent Observes may land between
+// bucket and sum reads; the snapshot is still internally consistent
+// enough for monitoring (counts never decrease).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Name: h.name, Help: h.help}
+	var sumNs uint64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < histBuckets; b++ {
+			c := sh.counts[b].Load()
+			s.Buckets[b] += c
+			s.Count += c
+		}
+		sumNs += sh.sumNs.Load()
+	}
+	s.Sum = float64(sumNs) / 1e9
+	return s
+}
+
+// BucketBound returns bucket i's upper bound in seconds, or +Inf-like
+// semantics via ok=false for the catch-all bucket.
+func BucketBound(i int) (seconds float64, ok bool) {
+	if i >= histBuckets-1 {
+		return 0, false
+	}
+	return float64(uint64(1)<<(histShift+i)) / 1e9, true
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) in seconds, derived
+// by linear interpolation inside the bucket holding the target rank.
+// Samples in the +Inf bucket report the last finite bound (a floor, not
+// a guess). Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	lower := 0.0
+	for i := 0; i < histBuckets; i++ {
+		upper, finite := BucketBound(i)
+		if !finite {
+			upper = lower // +Inf bucket: report the last finite bound
+		}
+		c := float64(s.Buckets[i])
+		if cum+c >= rank {
+			if c == 0 || upper <= lower {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-cum)/c
+		}
+		cum += c
+		lower = upper
+	}
+	return lower
+}
+
+// Mean returns the mean observation in seconds (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the snapshot as one Prometheus histogram family:
+// HELP/TYPE, cumulative _bucket samples with le labels (including
+// +Inf), then _sum and _count.
+func (s HistogramSnapshot) WriteProm(w io.Writer) error {
+	var b []byte
+	b = append(b, "# HELP "...)
+	b = append(b, s.Name...)
+	b = append(b, ' ')
+	b = append(b, s.Help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, s.Name...)
+	b = append(b, " histogram\n"...)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Buckets[i]
+		b = append(b, s.Name...)
+		b = append(b, `_bucket{le="`...)
+		if bound, finite := BucketBound(i); finite {
+			b = append(b, formatFloat(bound)...)
+		} else {
+			b = append(b, "+Inf"...)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, s.Name...)
+	b = append(b, "_sum "...)
+	b = append(b, formatFloat(s.Sum)...)
+	b = append(b, '\n')
+	b = append(b, s.Name...)
+	b = append(b, "_count "...)
+	b = strconv.AppendUint(b, s.Count, 10)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small parser for the Prometheus text exposition format
+// (version 0.0.4), covering the subset this repo emits: HELP/TYPE
+// comments, unlabeled samples, and single-label samples (histogram le
+// labels, strategy/shard gauges). It backs two consumers: rushbench's
+// before/after /metrics scrape, and the daemon smoke test's "required
+// families present and well-formed" validation.
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its TYPE, HELP, and samples in file
+// order. For histogram families the _bucket/_sum/_count samples are
+// collected under the base family name.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, untyped
+	Help    string
+	Samples []Sample // non-suffix samples (counters/gauges)
+
+	// Histogram series (populated when Type == "histogram").
+	Buckets map[float64]float64 // le (math.Inf(1) for +Inf) -> cumulative count
+	Sum     float64
+	Count   float64
+	hasSum  bool
+	hasCnt  bool
+}
+
+// ParseText parses a text-format exposition. It is strict about the
+// parts a scraper depends on: every sample must belong to a family
+// declared with # TYPE, values must parse, and brace syntax must be
+// well-formed. Unknown comment lines are ignored.
+func ParseText(r io.Reader) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseSample(line, families); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		name := fields[2]
+		if families[name] != nil && families[name].Type != "" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		f := familyFor(families, name)
+		f.Type = fields[3]
+		if f.Type == "histogram" && f.Buckets == nil {
+			f.Buckets = make(map[float64]float64)
+		}
+	case "HELP":
+		f := familyFor(families, fields[2])
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	}
+	return nil
+}
+
+func familyFor(families map[string]*Family, name string) *Family {
+	f := families[name]
+	if f == nil {
+		f = &Family{Name: name}
+		families[name] = f
+	}
+	return f
+}
+
+func parseSample(line string, families map[string]*Family) error {
+	// name[{labels}] value [timestamp]
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	labels := map[string]string{}
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:close])
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	value, err := parseValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %w", line, err)
+	}
+
+	// Histogram series fold into their base family.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		f := families[base]
+		if f == nil || f.Type != "histogram" {
+			continue
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label: %q", line)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("bad le label in %q: %w", line, err)
+			}
+			f.Buckets[bound] = value
+		case "_sum":
+			f.Sum, f.hasSum = value, true
+		case "_count":
+			f.Count, f.hasCnt = value, true
+		}
+		return nil
+	}
+
+	f := families[name]
+	if f == nil || f.Type == "" {
+		return fmt.Errorf("sample %q has no preceding # TYPE", name)
+	}
+	f.Samples = append(f.Samples, Sample{Labels: labels, Value: value})
+	return nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		name := strings.TrimSpace(s[:eq])
+		// Find the closing quote, honoring backslash escapes.
+		i := eq + 2
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated label value")
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ValidateHistogram checks that a histogram family is well-formed:
+// declared histogram type, has _sum/_count, has a +Inf bucket whose
+// cumulative count equals _count, and bucket counts are non-decreasing
+// in le order.
+func (f *Family) ValidateHistogram() error {
+	if f.Type != "histogram" {
+		return fmt.Errorf("%s: TYPE is %q, want histogram", f.Name, f.Type)
+	}
+	if !f.hasSum || !f.hasCnt {
+		return fmt.Errorf("%s: missing _sum or _count", f.Name)
+	}
+	inf, ok := f.Buckets[math.Inf(1)]
+	if !ok {
+		return fmt.Errorf("%s: missing +Inf bucket", f.Name)
+	}
+	if inf != f.Count {
+		return fmt.Errorf("%s: +Inf bucket %g != count %g", f.Name, inf, f.Count)
+	}
+	bounds := f.bucketBounds()
+	prev := 0.0
+	for _, b := range bounds {
+		c := f.Buckets[b]
+		if c < prev {
+			return fmt.Errorf("%s: bucket le=%g count %g below previous %g", f.Name, b, c, prev)
+		}
+		prev = c
+	}
+	return nil
+}
+
+func (f *Family) bucketBounds() []float64 {
+	bounds := make([]float64, 0, len(f.Buckets))
+	for b := range f.Buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	return bounds
+}
+
+// ParsedHistogram is a histogram extracted from a scrape, in
+// non-cumulative per-bucket form so deltas and quantiles are direct.
+type ParsedHistogram struct {
+	Bounds []float64 // upper bounds, ascending, last is +Inf
+	Counts []float64 // per-bucket (non-cumulative) counts
+	Sum    float64
+	Count  float64
+}
+
+// Histogram converts the family's cumulative bucket series into a
+// ParsedHistogram. Call ValidateHistogram first if malformed input is
+// possible.
+func (f *Family) Histogram() ParsedHistogram {
+	bounds := f.bucketBounds()
+	h := ParsedHistogram{Bounds: bounds, Counts: make([]float64, len(bounds)), Sum: f.Sum, Count: f.Count}
+	prev := 0.0
+	for i, b := range bounds {
+		c := f.Buckets[b]
+		h.Counts[i] = c - prev
+		prev = c
+	}
+	return h
+}
+
+// Sub returns the histogram delta h - prev (what happened between two
+// scrapes). Mismatched bucket layouts or counter resets clamp at zero
+// rather than going negative.
+func (h ParsedHistogram) Sub(prev ParsedHistogram) ParsedHistogram {
+	out := ParsedHistogram{
+		Bounds: h.Bounds,
+		Counts: make([]float64, len(h.Counts)),
+		Sum:    h.Sum - prev.Sum,
+		Count:  h.Count - prev.Count,
+	}
+	match := len(prev.Bounds) == len(h.Bounds)
+	for i := range h.Counts {
+		out.Counts[i] = h.Counts[i]
+		if match && h.Bounds[i] == prev.Bounds[i] {
+			out.Counts[i] -= prev.Counts[i]
+		}
+		if out.Counts[i] < 0 {
+			out.Counts[i] = 0
+		}
+	}
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	if out.Count < 0 {
+		out.Count = 0
+	}
+	return out
+}
+
+// Quantile derives the q-th quantile in seconds from the bucket counts,
+// interpolating within the target bucket (same scheme as
+// HistogramSnapshot.Quantile). Returns 0 for an empty histogram.
+func (h ParsedHistogram) Quantile(q float64) float64 {
+	total := 0.0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	cum := 0.0
+	lower := 0.0
+	for i, upper := range h.Bounds {
+		if math.IsInf(upper, 1) {
+			upper = lower
+		}
+		c := h.Counts[i]
+		if cum+c >= rank {
+			if c == 0 || upper <= lower {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-cum)/c
+		}
+		cum += c
+		lower = upper
+	}
+	return lower
+}
+
+// Mean returns the mean observation in seconds (0 when empty).
+func (h ParsedHistogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// Exposition accumulates Prometheus text-format output during one
+// collection pass. Collectors append whole families through it; the
+// registry flushes the buffer to the scrape response.
+type Exposition struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (e *Exposition) header(name, help, typ string) {
+	e.buf.WriteString("# HELP ")
+	e.buf.WriteString(name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(help)
+	e.buf.WriteString("\n# TYPE ")
+	e.buf.WriteString(name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(typ)
+	e.buf.WriteByte('\n')
+}
+
+func (e *Exposition) sample(name string, v float64) {
+	e.buf.WriteString(name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatFloat(v))
+	e.buf.WriteByte('\n')
+}
+
+// Counter emits a single-sample counter family.
+func (e *Exposition) Counter(name, help string, v float64) {
+	e.header(name, help, "counter")
+	e.sample(name, v)
+}
+
+// Gauge emits a single-sample gauge family.
+func (e *Exposition) Gauge(name, help string, v float64) {
+	e.header(name, help, "gauge")
+	e.sample(name, v)
+}
+
+// LabelValue is one labeled sample for LabeledGauge.
+type LabelValue struct {
+	Label string
+	Value float64
+}
+
+// LabeledGauge emits a gauge family with one sample per LabelValue, in
+// the order given (callers sort for deterministic output).
+func (e *Exposition) LabeledGauge(name, help, label string, values []LabelValue) {
+	e.header(name, help, "gauge")
+	for _, lv := range values {
+		e.buf.WriteString(name)
+		e.buf.WriteByte('{')
+		e.buf.WriteString(label)
+		e.buf.WriteString(`="`)
+		e.buf.WriteString(strconv.Quote(lv.Label)[1:]) // escaped, keep closing quote
+		e.buf.WriteString(`} `)
+		e.buf.WriteString(formatFloat(lv.Value))
+		e.buf.WriteByte('\n')
+	}
+}
+
+// Histogram emits a histogram snapshot as a full family.
+func (e *Exposition) Histogram(s HistogramSnapshot) {
+	if err := s.WriteProm(&e.buf); err != nil && e.err == nil {
+		e.err = err
+	}
+}
+
+// Registry is an ordered list of metric sources. WriteText runs them in
+// registration order, so output layout is stable scrape to scrape.
+type Registry struct {
+	collectors []func(*Exposition)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// AddFunc registers a collection callback. Callbacks run on every
+// scrape, in registration order.
+func (r *Registry) AddFunc(collect func(*Exposition)) {
+	r.collectors = append(r.collectors, collect)
+}
+
+// AddHistogram registers a histogram; each scrape snapshots it.
+func (r *Registry) AddHistogram(h *Histogram) {
+	r.AddFunc(func(e *Exposition) { e.Histogram(h.Snapshot()) })
+}
+
+// WriteText renders the full exposition to w.
+func (r *Registry) WriteText(w io.Writer) error {
+	var e Exposition
+	for _, c := range r.collectors {
+		c(&e)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	_, err := w.Write(e.buf.Bytes())
+	return err
+}

@@ -1,0 +1,18 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntime adds Go runtime health gauges to the registry:
+// goroutine count, heap usage, and GC activity. ReadMemStats is cheap
+// at scrape frequency (it stops the world for microseconds).
+func RegisterRuntime(r *Registry) {
+	r.AddFunc(func(e *Exposition) {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		e.Gauge("rushprobe_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+		e.Gauge("rushprobe_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(m.HeapAlloc))
+		e.Gauge("rushprobe_heap_sys_bytes", "Bytes of heap obtained from the OS.", float64(m.HeapSys))
+		e.Counter("rushprobe_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(m.PauseTotalNs)/1e9)
+		e.Counter("rushprobe_gc_cycles_total", "Completed GC cycles.", float64(m.NumGC))
+	})
+}

@@ -1,0 +1,126 @@
+// Package telemetry is the repo's dependency-free observability layer:
+// log-bucketed latency histograms with Prometheus text exposition,
+// a fixed-size span ring buffer for request tracing, a scrape registry,
+// a text-format parser for closed-loop consumers (rushbench, smoke
+// tests), and Go runtime gauges. Everything on the recording path is
+// allocation-free so it can ride the fleet ingest hot path.
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Config configures a Telemetry bundle.
+type Config struct {
+	// TraceRing is the span ring-buffer capacity (default 1024).
+	TraceRing int
+	// SlowSpan logs any span at least this long through Logger; 0
+	// disables slow-span logging.
+	SlowSpan time.Duration
+	// Logger receives slow-span and drift log records; nil means a
+	// discarding logger.
+	Logger *slog.Logger
+}
+
+// Telemetry bundles the per-stage histograms, the trace recorder, and
+// the structured logger that instrumented components share. A nil
+// *Telemetry everywhere means "telemetry off" and costs one pointer
+// compare on the hot path.
+type Telemetry struct {
+	Ingest          *Histogram
+	Schedule        *Histogram
+	Solve           *Histogram
+	SnapshotSave    *Histogram
+	SnapshotRestore *Histogram
+	AdvanceEpoch    *Histogram
+
+	Traces *Recorder
+	Logger *slog.Logger
+}
+
+// New builds a Telemetry bundle with the repo's standard stage
+// histograms.
+func New(cfg Config) *Telemetry {
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 1024
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	return &Telemetry{
+		Ingest:          NewHistogram("rushprobe_ingest_batch_seconds", "Fleet ingest latency per observation batch."),
+		Schedule:        NewHistogram("rushprobe_schedule_seconds", "Per-node schedule serving latency."),
+		Solve:           NewHistogram("rushprobe_solve_seconds", "Optimizer solve latency on plan-cache misses."),
+		SnapshotSave:    NewHistogram("rushprobe_snapshot_save_seconds", "Fleet snapshot serialization latency."),
+		SnapshotRestore: NewHistogram("rushprobe_snapshot_restore_seconds", "Fleet snapshot restore latency."),
+		AdvanceEpoch:    NewHistogram("rushprobe_advance_epoch_seconds", "Fleet-wide AdvanceEpoch fold latency."),
+		Traces:          NewRecorder(cfg.TraceRing, cfg.SlowSpan, logger),
+		Logger:          logger,
+	}
+}
+
+// Histograms returns the stage histograms in exposition order.
+func (t *Telemetry) Histograms() []*Histogram {
+	return []*Histogram{t.Ingest, t.Schedule, t.Solve, t.SnapshotSave, t.SnapshotRestore, t.AdvanceEpoch}
+}
+
+// Register adds every stage histogram to the registry.
+func (t *Telemetry) Register(r *Registry) {
+	for _, h := range t.Histograms() {
+		r.AddHistogram(h)
+	}
+}
+
+// WriteMetrics writes just the stage histograms in exposition format —
+// a convenience for embedding telemetry in servers that do not use a
+// full Registry (e.g. test harnesses).
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	for _, h := range t.Histograms() {
+		if err := h.Snapshot().WriteProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageLatency is a derived latency summary for one stage.
+type StageLatency struct {
+	Stage       string  `json:"stage"`
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"meanSeconds"`
+	P50Seconds  float64 `json:"p50Seconds"`
+	P90Seconds  float64 `json:"p90Seconds"`
+	P99Seconds  float64 `json:"p99Seconds"`
+}
+
+// Report summarizes every stage histogram (including empty ones) with
+// derived quantiles.
+func (t *Telemetry) Report() []StageLatency {
+	hs := t.Histograms()
+	out := make([]StageLatency, 0, len(hs))
+	for _, h := range hs {
+		s := h.Snapshot()
+		out = append(out, StageLatency{
+			Stage:       s.Name,
+			Count:       s.Count,
+			MeanSeconds: s.Mean(),
+			P50Seconds:  s.Quantile(0.50),
+			P90Seconds:  s.Quantile(0.90),
+			P99Seconds:  s.Quantile(0.99),
+		})
+	}
+	return out
+}
+
+// discardHandler is a slog.Handler that drops everything (slog gained
+// slog.DiscardHandler only in Go 1.24).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// ctxKey is the private context key carrying a request ID.
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the given request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when none is
+// set (background work, tests, library callers).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Span is one recorded unit of work. Spans are plain values — recording
+// one copies it into the ring without allocating.
+type Span struct {
+	// Request is the request ID the work ran under ("" for background
+	// work such as snapshot timers).
+	Request string `json:"request,omitempty"`
+	// Stage names the pipeline stage: http, ingest, schedule, solve,
+	// epoch, snapshot-save, snapshot-restore.
+	Stage string `json:"stage"`
+	// Node is the node ID the work was for, when stage-specific.
+	Node string `json:"node,omitempty"`
+	// Shard is the profile-store shard involved, or -1 when the work is
+	// not shard-local.
+	Shard int `json:"shard"`
+	// Cache reports how a schedule was satisfied: "node" (per-profile
+	// cached plan), "hit"/"miss" (shared plan cache), "bootstrap".
+	Cache string `json:"cache,omitempty"`
+	// Detail carries stage-specific context, e.g. "GET /v1/schedule/n1"
+	// for http spans.
+	Detail string `json:"detail,omitempty"`
+	// Status is the HTTP status for http spans.
+	Status int `json:"status,omitempty"`
+	// Count is a stage-specific magnitude: batch size for ingest spans,
+	// the epoch index for epoch spans, node count for snapshot spans.
+	Count int `json:"count,omitempty"`
+
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+}
+
+// Recorder keeps the most recent spans in a fixed-size ring buffer and
+// optionally logs spans that exceed a slow threshold. Recording takes
+// one short mutex hold and never allocates.
+type Recorder struct {
+	slow   time.Duration
+	logger *slog.Logger
+
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewRecorder returns a recorder holding the last capacity spans
+// (minimum 16). Spans with Duration >= slow are logged through logger
+// at Warn level; slow <= 0 or a nil logger disables that.
+func NewRecorder(capacity int, slow time.Duration, logger *slog.Logger) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Recorder{buf: make([]Span, capacity), slow: slow, logger: logger}
+}
+
+// Record stores the span. Safe for concurrent use.
+func (r *Recorder) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+	r.mu.Unlock()
+	if r.slow > 0 && s.Duration >= r.slow && r.logger != nil {
+		r.logger.Warn("slow span",
+			"stage", s.Stage,
+			"request", s.Request,
+			"node", s.Node,
+			"detail", s.Detail,
+			"status", s.Status,
+			"durationMs", float64(s.Duration)/1e6)
+	}
+}
+
+// Total returns how many spans have ever been recorded (including ones
+// the ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Last returns up to n spans, newest first.
+func (r *Recorder) Last(n int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := int(r.total)
+	if r.total > uint64(len(r.buf)) {
+		held = len(r.buf)
+	}
+	if n > held {
+		n = held
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		// next-1 is the newest entry; walk backwards, wrapping.
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if id := RequestID(ctx); id != "" {
+		t.Fatalf("background request ID = %q, want empty", id)
+	}
+	ctx = WithRequestID(ctx, "req-42")
+	if id := RequestID(ctx); id != "req-42" {
+		t.Fatalf("request ID = %q, want req-42", id)
+	}
+}
+
+func TestRecorderRingNewestFirst(t *testing.T) {
+	r := NewRecorder(16, 0, nil)
+	for i := 0; i < 20; i++ {
+		r.Record(Span{Stage: "ingest", Count: i})
+	}
+	if got := r.Total(); got != 20 {
+		t.Fatalf("total = %d, want 20", got)
+	}
+	spans := r.Last(5)
+	if len(spans) != 5 {
+		t.Fatalf("len = %d, want 5", len(spans))
+	}
+	for i, s := range spans {
+		if want := 19 - i; s.Count != want {
+			t.Errorf("spans[%d].Count = %d, want %d (newest first)", i, s.Count, want)
+		}
+	}
+	// Asking for more than the ring holds returns what survived.
+	if got := len(r.Last(100)); got != 16 {
+		t.Errorf("Last(100) = %d spans, want ring capacity 16", got)
+	}
+}
+
+func TestRecorderConcurrentRecord(t *testing.T) {
+	r := NewRecorder(64, 0, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Span{Stage: "ingest"})
+				r.Last(8)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != 4000 {
+		t.Fatalf("total = %d, want 4000", got)
+	}
+}
+
+func TestRecorderSlowSpanLogged(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	r := NewRecorder(16, 10*time.Millisecond, logger)
+	r.Record(Span{Stage: "http", Request: "req-1", Duration: 5 * time.Millisecond})
+	if buf.Len() != 0 {
+		t.Fatalf("fast span logged: %s", buf.String())
+	}
+	r.Record(Span{Stage: "http", Request: "req-2", Detail: "GET /v1/schedule/n1", Duration: 50 * time.Millisecond})
+	out := buf.String()
+	if !strings.Contains(out, "slow span") || !strings.Contains(out, "req-2") {
+		t.Fatalf("slow span not logged: %q", out)
+	}
+}
+
+func TestTelemetryReportAndRegister(t *testing.T) {
+	tel := New(Config{TraceRing: 32})
+	tel.Ingest.Observe(time.Millisecond)
+	tel.Schedule.Observe(2 * time.Millisecond)
+
+	report := tel.Report()
+	if len(report) != 6 {
+		t.Fatalf("report has %d stages, want 6", len(report))
+	}
+	byStage := map[string]StageLatency{}
+	for _, s := range report {
+		byStage[s.Stage] = s
+	}
+	if byStage["rushprobe_ingest_batch_seconds"].Count != 1 {
+		t.Errorf("ingest count = %d, want 1", byStage["rushprobe_ingest_batch_seconds"].Count)
+	}
+
+	reg := NewRegistry()
+	tel.Register(reg)
+	RegisterRuntime(reg)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("registry output does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"rushprobe_ingest_batch_seconds",
+		"rushprobe_schedule_seconds",
+		"rushprobe_solve_seconds",
+		"rushprobe_snapshot_save_seconds",
+		"rushprobe_snapshot_restore_seconds",
+		"rushprobe_advance_epoch_seconds",
+	} {
+		f := fams[name]
+		if f == nil {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if err := f.ValidateHistogram(); err != nil {
+			t.Errorf("family %s malformed: %v", name, err)
+		}
+	}
+	if fams["rushprobe_goroutines"] == nil {
+		t.Error("runtime gauges missing from registry output")
+	}
+}
+
+func TestExpositionLabeledGauge(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddFunc(func(e *Exposition) {
+		e.LabeledGauge("rushprobe_strategy_nodes", "Nodes per strategy.", "strategy", []LabelValue{
+			{Label: "rush-hour", Value: 3},
+			{Label: "uniform", Value: 1},
+		})
+	})
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `rushprobe_strategy_nodes{strategy="rush-hour"} 3`) {
+		t.Fatalf("labeled gauge not emitted:\n%s", text)
+	}
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["rushprobe_strategy_nodes"]
+	if f == nil || len(f.Samples) != 2 {
+		t.Fatalf("parsed %+v, want 2 samples", f)
+	}
+	if f.Samples[0].Labels["strategy"] != "rush-hour" || f.Samples[0].Value != 3 {
+		t.Errorf("sample[0] = %+v", f.Samples[0])
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"rushprobe_orphan 1\n",                         // sample without TYPE
+		"# TYPE x counter\nx nope\n",                   // bad value
+		"# TYPE x counter\nx{label=\"unterminated 1\n", // bad labels
+	}
+	for _, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestValidateHistogramCatchesCorruption(t *testing.T) {
+	// +Inf bucket disagrees with _count.
+	in := `# TYPE h histogram
+h_bucket{le="0.001"} 2
+h_bucket{le="+Inf"} 2
+h_sum 0.002
+h_count 5
+`
+	fams, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fams["h"].ValidateHistogram(); err == nil {
+		t.Fatal("corrupt histogram validated")
+	}
+}

@@ -1,0 +1,42 @@
+package rushprobe
+
+import (
+	"rushprobe/internal/fleet"
+	"rushprobe/internal/telemetry"
+)
+
+// Telemetry is the observability bundle a Fleet can be armed with:
+// per-stage latency histograms (ingest, schedule, solve, snapshot
+// save/restore, epoch folds), a fixed-size span ring buffer for
+// request tracing, and a structured logger for drift events. Build one
+// with NewTelemetry and attach it via WithTelemetry; a fleet without
+// one pays a single pointer compare per instrumented call.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryConfig configures NewTelemetry: trace ring capacity, the
+// slow-span logging threshold, and the structured logger.
+type TelemetryConfig = telemetry.Config
+
+// TraceSpan is one recorded unit of work in the telemetry trace ring:
+// stage, node/shard, cache outcome, and timing, tagged with the
+// request ID carried by the caller's context.
+type TraceSpan = telemetry.Span
+
+// StageLatency is a derived latency summary (count, mean, p50/p90/p99)
+// for one instrumented stage, as returned by Telemetry.Report.
+type StageLatency = telemetry.StageLatency
+
+// FleetMemoryStats estimates the profile store's resident size,
+// including the bytes/node gauge used for fleet capacity planning.
+type FleetMemoryStats = fleet.MemoryStats
+
+// NewTelemetry builds a telemetry bundle with the repo's standard
+// stage histograms.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
+
+// WithTelemetry arms the fleet with per-stage histograms, span tracing,
+// and structured drift logging. The bundle outlives the fleet: callers
+// keep the pointer to scrape histograms or read traces.
+func WithTelemetry(t *Telemetry) FleetOption {
+	return func(c *fleet.Config) { c.Telemetry = t }
+}
