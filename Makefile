@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve smoke-fleet ops-smoke loadtest soak
+.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve serve-sharded smoke-fleet ops-smoke loadtest soak fuzz fuzz-smoke crash-suite
 
 all: fmt vet build test
 
@@ -25,7 +25,29 @@ test:
 # internal/fleetsim is the closed-loop co-sim smoke: its parallel ==
 # serial determinism test must stay race-clean.
 race:
-	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/learn/ ./internal/drift/ ./internal/fleet/ ./internal/fleetsim/ ./internal/telemetry/ ./cmd/rushprobed/
+	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/learn/ ./internal/drift/ ./internal/fleet/ ./internal/fleetsim/ ./internal/snaplog/ ./internal/shardroute/ ./internal/telemetry/ ./cmd/rushprobed/
+
+# Fuzz the binary persistence formats: the snaplog frame decoder and
+# the packed profile record. Arbitrary bytes must never panic or
+# over-allocate, and valid encodings must round-trip exactly. Go runs
+# one fuzz target per invocation, hence the two lines. Raise the budget
+# for longer local runs: make fuzz FUZZTIME=5m
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzSnaplogDecode$$' -fuzztime $(FUZZTIME) ./internal/snaplog/
+	$(GO) test -run '^$$' -fuzz 'FuzzProfileRecordRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/learn/
+
+# Short fuzz pass for CI.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
+
+# Crash-injection and corruption recovery suite: torn tails recovered
+# loudly, corrupt logs fatal with the path named, truncation at every
+# frame boundary and mid-frame — the binary snapshot log's durability
+# contract.
+crash-suite:
+	$(GO) test -run 'Truncate|Torn|Corrupt|Crash|ShortWrite|Recovery' -v ./internal/snaplog/ ./internal/fleet/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -36,6 +58,16 @@ vet:
 # Run the fleet daemon on :8080 (see README "Running the daemon").
 serve:
 	$(GO) run ./cmd/rushprobed -addr :8080
+
+# Run a sharded fleet on :8080 (see README "Running a sharded fleet"):
+# two rushprobed shard daemons with binary snapshot logs on loopback
+# ports, fronted by a third rushprobed in router mode (-route) serving
+# the same API over a consistent-hash ring. Ctrl-C stops all three.
+serve-sharded: build-cmds
+	@./bin/rushprobed -addr 127.0.0.1:18091 -snaplog bin/shard1.snaplog & s1=$$!; \
+	./bin/rushprobed -addr 127.0.0.1:18092 -snaplog bin/shard2.snaplog & s2=$$!; \
+	trap 'kill $$s1 $$s2 2>/dev/null' EXIT; \
+	./bin/rushprobed -addr :8080 -route 127.0.0.1:18091,127.0.0.1:18092
 
 # End-to-end fleet smoke: build the binaries, generate a contact trace
 # with tracegen, start rushprobed against a loopback listener, ingest
@@ -83,11 +115,13 @@ bench-fleetsim:
 
 # Fast perf sanity check: the DES hot path (must stay 0 allocs/op), the
 # replication fan-out, and the fleet ingest path (must stay
-# allocation-free at steady state).
+# allocation-free at steady state). The pattern is anchored to the
+# Observe benchmarks — a bare 'BenchmarkFleet' would also pull in the
+# 1M-node BenchmarkFleetIngest1M, which takes minutes per iteration.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkDES' -benchtime 10000x ./internal/des/
 	$(GO) test -run '^$$' -bench 'BenchmarkReplications' -benchtime 1x ./internal/sim/
-	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 10000x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetObserve' -benchtime 10000x .
 
 # Snapshot the full benchmark suite (figures + micro-benchmarks) into
 # BENCH_baseline.json so perf regressions show up as diffs. Tables and

@@ -148,6 +148,9 @@ func run(args []string, out io.Writer) error {
 	if d := summary.Drift; d != nil && d.NodesInjected > 0 && d.NodesDetected == 0 {
 		return fmt.Errorf("drift injected into %d nodes but no detector fired (is the daemon running with -drift-detector?)", d.NodesInjected)
 	}
+	if bs := summary.BatchSchedule; bs != nil && bs.Mismatched > 0 {
+		return fmt.Errorf("batch schedule verification: %d of %d plans differ from the per-node schedules", bs.Mismatched, bs.Nodes)
+	}
 	return nil
 }
 
@@ -185,9 +188,26 @@ type Summary struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latencyMs"`
-	Strategies []StrategyReport `json:"strategies"`
-	Drift      *DriftReport     `json:"drift,omitempty"`
-	Server     *ServerReport    `json:"server"`
+	Strategies    []StrategyReport     `json:"strategies"`
+	BatchSchedule *BatchScheduleReport `json:"batchSchedule,omitempty"`
+	Drift         *DriftReport         `json:"drift,omitempty"`
+	Server        *ServerReport        `json:"server"`
+}
+
+// BatchScheduleReport verifies the daemon's batch schedule endpoint:
+// one POST /v1/schedules naming every replayed node must return the
+// same plans, in input order, as the per-node GETs. Probing is best
+// effort — a daemon that predates the endpoint (or can't answer)
+// reports Supported=false with the reason, never a failed run — but a
+// plan that differs between the two paths is a serving bug and fails
+// the run.
+type BatchScheduleReport struct {
+	Supported  bool    `json:"supported"`
+	Error      string  `json:"error,omitempty"`
+	Nodes      int     `json:"nodes"`
+	LatencyMs  float64 `json:"latencyMs"`
+	Verified   int     `json:"verified"`
+	Mismatched int     `json:"mismatched"`
 }
 
 // ServerReport closes the telemetry loop: rushbench scrapes the
@@ -615,6 +635,15 @@ func bench(cfg config) (*Summary, error) {
 	}
 	s.Strategies = reports
 
+	s.BatchSchedule = batchScheduleReport(client, cfg.base, nodeIDs)
+	if bs := s.BatchSchedule; bs.Supported {
+		log.Info("batch schedules cross-checked",
+			"nodes", bs.Nodes, "verified", bs.Verified,
+			"mismatched", bs.Mismatched, "latencyMs", bs.LatencyMs)
+	} else {
+		log.Warn("batch schedule endpoint unavailable", "reason", bs.Error)
+	}
+
 	if cfg.driftInject {
 		dr, err := driftReport(client, cfg.base, nodeIDs, injectEpoch)
 		if err != nil {
@@ -760,6 +789,73 @@ func strategyReports(client *http.Client, base string, groups, nodeIDs []string)
 		}
 	}
 	return out, nil
+}
+
+// batchScheduleReport cross-checks POST /v1/schedules against the
+// per-node GET path: same nodes, same plans, same order. Endpoint or
+// transport trouble degrades to Supported=false with a reason;
+// mismatched plans are counted for the caller to fail on.
+func batchScheduleReport(client *http.Client, base string, nodeIDs []string) *BatchScheduleReport {
+	rep := &BatchScheduleReport{Nodes: len(nodeIDs)}
+	body, err := json.Marshal(struct {
+		Nodes []string `json:"nodes"`
+	}{Nodes: nodeIDs})
+	if err != nil {
+		rep.Error = err.Error()
+		return rep
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/schedules", "application/json", bytes.NewReader(body))
+	if err != nil {
+		rep.Error = err.Error()
+		return rep
+	}
+	defer resp.Body.Close()
+	rep.LatencyMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		rep.Error = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return rep
+	}
+	var got struct {
+		Schedules []*rushprobe.Schedule `json:"schedules"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		rep.Error = "decode: " + err.Error()
+		return rep
+	}
+	rep.Supported = true
+	if len(got.Schedules) != len(nodeIDs) {
+		rep.Error = fmt.Sprintf("%d plans for %d nodes", len(got.Schedules), len(nodeIDs))
+		rep.Mismatched = len(nodeIDs)
+		return rep
+	}
+	for i, id := range nodeIDs {
+		// The per-node response wraps the schedule with a node field;
+		// decoding both paths into Schedule and re-marshaling compares
+		// the plans themselves, byte for byte.
+		var single rushprobe.Schedule
+		if err := getJSON(client, base+"/v1/schedule/"+id, &single); err != nil {
+			rep.Error = fmt.Sprintf("schedule %s: %v", id, err)
+			return rep
+		}
+		batched, err := json.Marshal(got.Schedules[i])
+		if err != nil {
+			rep.Error = err.Error()
+			return rep
+		}
+		direct, err := json.Marshal(&single)
+		if err != nil {
+			rep.Error = err.Error()
+			return rep
+		}
+		if bytes.Equal(batched, direct) {
+			rep.Verified++
+		} else {
+			rep.Mismatched++
+		}
+	}
+	return rep
 }
 
 // waitHealthy polls /v1/healthz until the daemon answers or the budget

@@ -56,6 +56,21 @@ func newFleetServer(t *testing.T, opts ...rushprobe.FleetOption) *httptest.Serve
 		}
 		json.NewEncoder(w).Encode(sched)
 	})
+	mux.HandleFunc("/v1/schedules", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Nodes []string `json:"nodes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		scheds, err := f.ScheduleBatch(req.Nodes)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"schedules": scheds})
+	})
 	mux.HandleFunc("/v1/profile/", func(w http.ResponseWriter, r *http.Request) {
 		node := strings.TrimPrefix(r.URL.Path, "/v1/profile/")
 		prof, err := f.Profile(node)
@@ -134,6 +149,13 @@ func TestBenchAgainstFleet(t *testing.T) {
 	// the deltas of the second group are measured against the first.
 	if s.Strategies[0].DeltaPhiPct != 0 {
 		t.Fatalf("first group must be the delta baseline, got %+v", s.Strategies[0])
+	}
+	bs := s.BatchSchedule
+	if bs == nil || !bs.Supported {
+		t.Fatalf("batch schedule report missing or unsupported: %+v", bs)
+	}
+	if bs.Nodes != 8 || bs.Verified != 8 || bs.Mismatched != 0 {
+		t.Fatalf("batch schedules did not match the per-node path: %+v", bs)
 	}
 }
 

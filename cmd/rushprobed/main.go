@@ -88,7 +88,10 @@ func run(args []string, out io.Writer) error {
 		bootstrap  = fs.Int("bootstrap-epochs", 3, "epochs of SNIP-AT bootstrap before serving learned plans")
 		shards     = fs.Int("shards", 16, "profile store shard count")
 		mechanism  = fs.String("mechanism", string(rushprobe.SNIPOPT), "default strategy served after bootstrap: any registered name (see GET /v1/strategies)")
-		snapshot   = fs.String("snapshot", "", "snapshot file: restored at startup, written on shutdown and POST /v1/snapshot")
+		snapshot   = fs.String("snapshot", "", "JSON snapshot file: restored at startup, written on shutdown and POST /v1/snapshot (with -snaplog set it is import-only)")
+		snaplog    = fs.String("snaplog", "", "binary snapshot log: restored at startup, dirty-node deltas appended every -snaplog-interval, compacted on overflow/shutdown/POST /v1/snapshot; preferred over -snapshot at scale")
+		snaplogInt = fs.Duration("snaplog-interval", 30*time.Second, "how often to append dirty-node deltas to -snaplog (0 disables the loop)")
+		route      = fs.String("route", "", "router mode: comma-separated shard base URLs; the daemon serves the same API by consistent-hash scatter-gather over the shards instead of a local fleet")
 		driftDet   = fs.String("drift-detector", "cusum", "streaming drift detector relearning nodes whose rush pattern shifts: cusum, page-hinkley, or none")
 		inflight   = fs.Int("max-inflight-observe", 64, "max concurrent observe requests before shedding with 429")
 		reqTimeout = fs.Duration("request-timeout", 15*time.Second, "per-request handling deadline")
@@ -107,6 +110,12 @@ func run(args []string, out io.Writer) error {
 	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
 		return err
+	}
+	if *route != "" {
+		if *smoke || *snapshot != "" || *snaplog != "" {
+			return errors.New("-route is exclusive of -smoke, -snapshot, and -snaplog: the router holds no fleet state (each shard persists its own)")
+		}
+		return runRouter(*route, *addr, *reqTimeout, logger)
 	}
 	tel := rushprobe.NewTelemetry(rushprobe.TelemetryConfig{
 		TraceRing: *traceRing,
@@ -131,7 +140,33 @@ func run(args []string, out io.Writer) error {
 	if *reqTimeout > 0 {
 		srv.requestTimeout = *reqTimeout
 	}
-	if *snapshot != "" {
+	if *snaplog != "" {
+		st := newSnaplogStore(f, *snaplog, logger)
+		t0 := time.Now()
+		restored, err := st.restore()
+		if err != nil {
+			return err
+		}
+		if restored {
+			srv.snapMu.Lock()
+			srv.snapRestored = true
+			srv.snapRestoreDur = time.Since(t0)
+			srv.snapMu.Unlock()
+		} else if *snapshot != "" {
+			// Migration: no binary log yet, import the JSON snapshot and
+			// let the compaction below re-persist it in log form.
+			if err := srv.restoreSnapshot(); err != nil {
+				return err
+			}
+			logger.Info("imported JSON snapshot into binary log",
+				"from", *snapshot, "to", *snaplog, "nodes", f.Stats().Nodes)
+		}
+		// Establish the on-disk log and the append handle.
+		if err := st.compact(); err != nil {
+			return err
+		}
+		srv.snaplog = st
+	} else if *snapshot != "" {
 		if err := srv.restoreSnapshot(); err != nil {
 			return err
 		}
@@ -156,9 +191,25 @@ func run(args []string, out io.Writer) error {
 	httpSrv.Addr = *addr
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if srv.snaplog != nil && *snaplogInt > 0 {
+		go func() {
+			ticker := time.NewTicker(*snaplogInt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := srv.snaplog.appendDelta(); err != nil {
+						logger.Error("snapshot log delta append failed", "err", err)
+					}
+				}
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr, "mechanism", *mechanism, "snapshot", *snapshot)
+		logger.Info("listening", "addr", *addr, "mechanism", *mechanism, "snapshot", *snapshot, "snaplog", *snaplog)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -173,13 +224,53 @@ func run(args []string, out io.Writer) error {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
-	if *snapshot != "" {
+	if srv.snaplog != nil {
+		if err := srv.snaplog.close(); err != nil {
+			return err
+		}
+		logger.Info("snapshot log compacted", "path", *snaplog, "nodes", f.Stats().Nodes)
+	} else if *snapshot != "" {
 		if err := srv.persistSnapshot(); err != nil {
 			return err
 		}
 		logger.Info("snapshot saved", "path", *snapshot, "nodes", f.Stats().Nodes)
 	}
 	return nil
+}
+
+// runRouter is -route mode: serve the API over a consistent-hash
+// router of shard daemons until SIGINT/SIGTERM.
+func runRouter(shardList, addr string, reqTimeout time.Duration, logger *slog.Logger) error {
+	rt, err := buildRouter(shardList)
+	if err != nil {
+		return err
+	}
+	if len(rt.Shards()) == 0 {
+		return errors.New("-route lists no shards")
+	}
+	rsrv := newRouterServer(rt, logger)
+	if reqTimeout > 0 {
+		rsrv.requestTimeout = reqTimeout
+	}
+	httpSrv := newHTTPServer(rsrv)
+	httpSrv.Addr = addr
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("routing", "addr", addr, "shards", rt.Shards())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutdownCtx)
 }
 
 // newLogger builds the daemon's structured logger from the -log-format
@@ -276,6 +367,10 @@ type server struct {
 	start        time.Time
 	mux          *http.ServeMux
 
+	// snaplog, when non-nil, is the incremental binary snapshot log;
+	// persistSnapshot then compacts it instead of writing JSON.
+	snaplog *snaplogStore
+
 	// tel is the telemetry bundle shared with the fleet (a detached one
 	// when the fleet runs untelemetered, so /metrics and /debug/traces
 	// keep their shape); registry renders the full /metrics exposition;
@@ -328,6 +423,7 @@ func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
 	telemetry.RegisterRuntime(s.registry)
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	s.mux.HandleFunc("/v1/schedule/", s.handleSchedule)
+	s.mux.HandleFunc("/v1/schedules", s.handleSchedules)
 	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
 	s.mux.HandleFunc("/v1/strategy/", s.handleStrategy)
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
@@ -496,6 +592,44 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scheduleResponse{Node: node, Schedule: sched})
 }
 
+// maxSchedulesBody bounds a batch schedule request body (8 MiB ≈
+// hundreds of thousands of node IDs).
+const maxSchedulesBody = 8 << 20
+
+// schedulesRequest is the POST /v1/schedules body.
+type schedulesRequest struct {
+	Nodes []string `json:"nodes"`
+}
+
+// schedulesResponse returns the plans in the request's node order.
+type schedulesResponse struct {
+	Schedules []*rushprobe.Schedule `json:"schedules"`
+}
+
+// handleSchedules is the batch counterpart of /v1/schedule/{node}: one
+// round trip for a whole fleet sweep, and the scatter-gather unit the
+// -route mode's router uses against its shards.
+func (s *server) handleSchedules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req schedulesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSchedulesBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	scheds, err := s.fleet.ScheduleBatch(req.Nodes)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "schedules: %v", err)
+		return
+	}
+	if scheds == nil {
+		scheds = []*rushprobe.Schedule{}
+	}
+	writeJSON(w, http.StatusOK, schedulesResponse{Schedules: scheds})
+}
+
 // strategyRequest is the POST /v1/strategy/{node} body.
 type strategyRequest struct {
 	// Strategy is a registered strategy name or alias; empty clears the
@@ -595,7 +729,7 @@ func (s *server) snapshotHealth() snapshotHealth {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	h := snapshotHealth{
-		Configured:                 s.snapshotPath != "",
+		Configured:                 s.snapshotPath != "" || s.snaplog != nil,
 		RestoredAtStartup:          s.snapRestored,
 		Saves:                      s.snapSaves,
 		LastSaveAgeSeconds:         -1,
@@ -669,6 +803,16 @@ func (s *server) collectFleet(e *telemetry.Exposition) {
 	e.Counter("rushprobe_snapshot_saves_total", "Snapshots persisted since startup.", float64(sh.Saves))
 	e.Gauge("rushprobe_snapshot_last_save_age_seconds", "Seconds since the last snapshot save (-1 before the first).", sh.LastSaveAgeSeconds)
 	e.Gauge("rushprobe_snapshot_last_save_seconds", "Duration of the last snapshot save in seconds.", sh.LastSaveDurationSeconds)
+
+	if s.snaplog != nil {
+		base, appended, deltas, deltaNodes, compactions := s.snaplog.stats()
+		e.Gauge("rushprobe_snaplog_base_bytes", "Bytes of the snapshot log's last full compaction.", float64(base))
+		e.Gauge("rushprobe_snaplog_delta_bytes", "Delta bytes appended to the snapshot log since the last compaction.", float64(appended))
+		e.Counter("rushprobe_snaplog_deltas_total", "Delta appends to the snapshot log since startup.", float64(deltas))
+		e.Counter("rushprobe_snaplog_delta_nodes_total", "Node records written by delta appends since startup.", float64(deltaNodes))
+		e.Counter("rushprobe_snaplog_compactions_total", "Snapshot log compactions since startup.", float64(compactions))
+		e.Gauge("rushprobe_fleet_dirty_nodes", "Nodes changed since the last snapshot-log write.", float64(s.fleet.DirtyNodes()))
+	}
 }
 
 // handleMetrics renders the registry — fleet counters, stage latency
@@ -735,11 +879,18 @@ func (s *server) restoreSnapshot() error {
 	return nil
 }
 
-// persistSnapshot saves the fleet to the configured path and records
+// persistSnapshot saves the fleet — a binary-log compaction when
+// -snaplog is configured, the JSON snapshot otherwise — and records
 // the save time and duration for /v1/healthz and /metrics.
 func (s *server) persistSnapshot() error {
 	t0 := time.Now()
-	if err := saveSnapshot(s.fleet, s.snapshotPath); err != nil {
+	var err error
+	if s.snaplog != nil {
+		err = s.snaplog.compact()
+	} else {
+		err = saveSnapshot(s.fleet, s.snapshotPath)
+	}
+	if err != nil {
 		return err
 	}
 	s.snapMu.Lock()
@@ -760,15 +911,19 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.snapshotPath == "" {
-		writeError(w, http.StatusBadRequest, "daemon started without -snapshot")
+	if s.snapshotPath == "" && s.snaplog == nil {
+		writeError(w, http.StatusBadRequest, "daemon started without -snapshot or -snaplog")
 		return
 	}
 	if err := s.persistSnapshot(); err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, snapshotResponse{Nodes: s.fleet.Stats().Nodes, Path: s.snapshotPath})
+	path := s.snapshotPath
+	if s.snaplog != nil {
+		path = s.snaplog.path
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Nodes: s.fleet.Stats().Nodes, Path: path})
 }
 
 // smokeContacts loads the trace CSV (e.g. written by tracegen), or

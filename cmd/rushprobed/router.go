@@ -1,0 +1,269 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rushprobe"
+	"rushprobe/internal/shardroute"
+	"rushprobe/internal/telemetry"
+)
+
+// routerServer serves the daemon's API in -route mode: the same
+// endpoints, but every request scatters to the shard daemons owning
+// the nodes instead of touching a local fleet. The router holds no
+// learned state of its own — each shard persists its own snapshot.
+type routerServer struct {
+	rt       *shardroute.Router
+	mux      *http.ServeMux
+	logger   *slog.Logger
+	registry *telemetry.Registry
+	start    time.Time
+	reqSeq   atomic.Uint64
+
+	requestTimeout time.Duration
+}
+
+func newRouterServer(rt *shardroute.Router, logger *slog.Logger) *routerServer {
+	s := &routerServer{
+		rt:             rt,
+		mux:            http.NewServeMux(),
+		logger:         logger,
+		registry:       telemetry.NewRegistry(),
+		start:          time.Now(),
+		requestTimeout: defaultRequestTimeout,
+	}
+	s.registry.AddFunc(rt.Collect)
+	telemetry.RegisterRuntime(s.registry)
+	s.mux.HandleFunc("/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("/v1/schedule/", s.handleSchedule)
+	s.mux.HandleFunc("/v1/schedules", s.handleSchedules)
+	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
+	s.mux.HandleFunc("/v1/strategy/", s.handleStrategy)
+	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+	})
+	return s
+}
+
+func (s *routerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+		defer cancel()
+	}
+	id := "req-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	ctx = telemetry.WithRequestID(ctx, id)
+	w.Header().Set("X-Request-ID", id)
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+func (s *routerServer) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req observeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	accepted, err := s.rt.Observe(r.Context(), req.Observations)
+	if err != nil {
+		// Partial scatter failure: some shards folded their slice, some
+		// did not. Surface it as a bad gateway with the accepted count
+		// so reporters know what landed.
+		s.logger.Warn("routed observe failed on some shards", "accepted", accepted, "err", err)
+		writeError(w, http.StatusBadGateway, "observe: accepted %d of %d: %v", accepted, len(req.Observations), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, observeResponse{Received: len(req.Observations), Accepted: accepted})
+}
+
+func (s *routerServer) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	node := nodeParam(r.URL.Path, "/v1/schedule/")
+	if node == "" {
+		writeError(w, http.StatusBadRequest, "missing node ID")
+		return
+	}
+	sched, err := s.rt.Schedule(r.Context(), node)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "schedule: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scheduleResponse{Node: node, Schedule: sched})
+}
+
+func (s *routerServer) handleSchedules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req schedulesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSchedulesBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	scheds, err := s.rt.ScheduleBatch(r.Context(), req.Nodes)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "schedules: %v", err)
+		return
+	}
+	if scheds == nil {
+		scheds = []*rushprobe.Schedule{}
+	}
+	writeJSON(w, http.StatusOK, schedulesResponse{Schedules: scheds})
+}
+
+func (s *routerServer) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	node := nodeParam(r.URL.Path, "/v1/profile/")
+	if node == "" {
+		writeError(w, http.StatusBadRequest, "missing node ID")
+		return
+	}
+	prof, err := s.rt.Profile(r.Context(), node)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "profile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, prof)
+}
+
+func (s *routerServer) handleStrategy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	node := nodeParam(r.URL.Path, "/v1/strategy/")
+	if node == "" {
+		writeError(w, http.StatusBadRequest, "missing node ID")
+		return
+	}
+	var req strategyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	inForce, err := s.rt.SetStrategy(r.Context(), node, req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "strategy: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, strategyResponse{Node: node, Strategy: inForce})
+}
+
+func (s *routerServer) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, strategiesResponse{Strategies: rushprobe.Strategies()})
+}
+
+// routerHealthResponse is router-mode healthz: merged fleet counters
+// plus the shard roster, so operators see both the whole and the
+// parts.
+type routerHealthResponse struct {
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptimeSeconds"`
+	Shards        []string `json:"shards"`
+	rushprobe.FleetStats
+	PerShard map[string]rushprobe.FleetStats `json:"perShard"`
+}
+
+func (s *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	per, perErr := s.rt.ShardStats(r.Context())
+	var total rushprobe.FleetStats
+	for _, st := range per {
+		total.Nodes += st.Nodes
+		total.Observations += st.Observations
+		total.Stale += st.Stale
+		total.Invalid += st.Invalid
+		total.PlanSolves += st.PlanSolves
+		total.PlanCacheHits += st.PlanCacheHits
+		total.CachedPlans += st.CachedPlans
+		total.DriftEvents += st.DriftEvents
+	}
+	status := "ok"
+	if perErr != nil {
+		status = "degraded: " + perErr.Error()
+	}
+	writeJSON(w, http.StatusOK, routerHealthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Shards:        s.rt.Shards(),
+		FleetStats:    total,
+		PerShard:      per,
+	})
+}
+
+type routerSnapshotResponse struct {
+	Shards int `json:"shards"`
+}
+
+func (s *routerServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.rt.PersistSnapshots(r.Context()); err != nil {
+		writeError(w, http.StatusBadGateway, "snapshot fan-out: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, routerSnapshotResponse{Shards: len(s.rt.Shards())})
+}
+
+func (s *routerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", expositionContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = s.registry.WriteText(w)
+}
+
+// buildRouter wires the -route shard list (comma-separated base URLs)
+// into a consistent-hash router over HTTP backends. Shard names are
+// the URLs themselves, so the ring is a pure function of the flag.
+func buildRouter(shardList string) (*shardroute.Router, error) {
+	rt := shardroute.NewRouter(0, nil)
+	for _, raw := range strings.Split(shardList, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		u = strings.TrimRight(u, "/")
+		if err := rt.AddShard(u, &shardroute.HTTPBackend{BaseURL: u}); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}

@@ -134,6 +134,12 @@ func (f *Fleet) ScheduleContext(ctx context.Context, node string) (*Schedule, er
 	return f.inner.ScheduleContext(ctx, node)
 }
 
+// ScheduleBatch returns the plans for many nodes at once, in input
+// order. It fails on the first unservable node.
+func (f *Fleet) ScheduleBatch(nodes []string) ([]*Schedule, error) {
+	return f.inner.ScheduleBatch(nodes)
+}
+
 // Profile reports a node's learned state without creating any.
 func (f *Fleet) Profile(node string) (NodeProfile, error) { return f.inner.Profile(node) }
 
@@ -178,3 +184,37 @@ func (f *Fleet) Snapshot(w io.Writer) error { return f.inner.WriteSnapshot(w) }
 // Snapshot. The snapshot must come from a fleet with the same base
 // deployment (fingerprint-checked).
 func (f *Fleet) Restore(r io.Reader) error { return f.inner.ReadSnapshot(r) }
+
+// SnapshotRecovery reports what a binary restore recovered: node and
+// frame counts, compaction generations seen, and whether a torn tail
+// (crash mid-append) was dropped at TornOffset.
+type SnapshotRecovery = fleet.RecoveryInfo
+
+// SnapshotBinary streams the fleet's learned state as a full binary
+// snapshot log: one meta frame, then every node in deterministic
+// order, CRC-framed (see internal/snaplog). Unlike the JSON Snapshot
+// it never materializes the whole fleet, so peak memory stays flat at
+// million-node scale, and the encoding is several times smaller per
+// node. Restores are float-exact: a restored fleet serves
+// bit-identical schedules.
+func (f *Fleet) SnapshotBinary(w io.Writer) error { return f.inner.WriteBinarySnapshot(w) }
+
+// SnapshotBinaryDelta appends node frames for every node changed since
+// the last SnapshotBinary or SnapshotBinaryDelta, returning how many
+// were written. Appended to a log that starts with a full snapshot,
+// the deltas replay last-record-wins on restore — the incremental
+// persistence path between compactions.
+func (f *Fleet) SnapshotBinaryDelta(w io.Writer) (int, error) { return f.inner.AppendBinaryDelta(w) }
+
+// DirtyNodes counts nodes changed since the last binary snapshot or
+// delta — the signal a persistence loop uses to skip idle intervals.
+func (f *Fleet) DirtyNodes() int { return f.inner.DirtyNodes() }
+
+// RestoreBinary replaces the fleet's learned state with a binary
+// snapshot log written by SnapshotBinary (plus any SnapshotBinaryDelta
+// appends). A torn tail is dropped and reported in SnapshotRecovery;
+// corruption or an empty log fails hard without touching current
+// state — never a silent fresh start.
+func (f *Fleet) RestoreBinary(r io.Reader) (*SnapshotRecovery, error) {
+	return f.inner.ReadBinarySnapshot(r)
+}

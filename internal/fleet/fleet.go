@@ -504,6 +504,7 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 	if e < p.epoch {
 		p.stale++
 		f.stale.Add(1)
+		p.dirty = true // the stale counter is persisted state
 		return false
 	}
 	f.advanceTo(p, e)
@@ -517,6 +518,7 @@ func (f *Fleet) fold(p *profile, o *Observation) bool {
 	p.observed++
 	f.accepted.Add(1)
 	p.sched = nil
+	p.dirty = true
 	return true
 }
 
@@ -569,6 +571,7 @@ func (f *Fleet) advanceEpoch(node string, epoch int) error {
 	}
 	f.advanceTo(p, epoch)
 	p.sched = nil
+	p.dirty = true
 	return nil
 }
 
@@ -719,6 +722,7 @@ func (f *Fleet) SetStrategy(node, name string) (string, error) {
 	if p.strategy != canonical {
 		p.strategy = canonical
 		p.sched = nil
+		p.dirty = true
 	}
 	return f.strategyInForce(p), nil
 }

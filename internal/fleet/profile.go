@@ -45,6 +45,11 @@ type profile struct {
 	// sched caches the schedule served for the current learned state;
 	// nil after any state or strategy change.
 	sched *Schedule
+
+	// dirty marks persisted state changed since the last binary
+	// snapshot or delta append; the snapshot log only writes dirty
+	// nodes between compactions.
+	dirty bool
 }
 
 // newProfile seeds a node's estimators from the base scenario: the mean
@@ -66,6 +71,7 @@ func (f *Fleet) newProfile(node string) *profile {
 		mon:        f.newMonitor(),
 		firstDrift: -1,
 		lastDrift:  -1,
+		dirty:      true,
 	}
 }
 

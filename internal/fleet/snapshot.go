@@ -162,6 +162,11 @@ func (f *Fleet) Restore(s *Snapshot) error {
 			mon:        f.newMonitor(),
 			firstDrift: -1,
 			lastDrift:  -1,
+			// Restored nodes start dirty: the source may be a foreign
+			// snapshot (e.g. a JSON import) that no binary log contains
+			// yet. ReadBinarySnapshot clears the flags afterwards, since
+			// there the log itself is the source.
+			dirty: true,
 		}
 		if err := f.restoreDrift(p, n.Drift); err != nil {
 			return fmt.Errorf("fleet: node %s: %w", n.ID, err)

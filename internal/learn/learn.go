@@ -23,7 +23,7 @@ const DefaultAlpha = 0.1
 // Until the first contact is probed the estimator reports the prior,
 // letting a freshly deployed node pick a sane initial duty cycle.
 type ContactLength struct {
-	ewma  *stats.EWMA
+	ewma  stats.EWMA
 	prior float64
 }
 
@@ -33,7 +33,7 @@ func NewContactLength(prior float64) *ContactLength {
 	if prior <= 0 {
 		prior = 1
 	}
-	return &ContactLength{ewma: stats.NewEWMA(DefaultAlpha), prior: prior}
+	return &ContactLength{ewma: *stats.NewEWMA(DefaultAlpha), prior: prior}
 }
 
 // Observe records the measured length of a probed contact. Because a
@@ -63,18 +63,17 @@ func (c *ContactLength) Mean() float64 {
 // Samples returns how many contacts have been observed.
 func (c *ContactLength) Samples() int { return c.ewma.Count() }
 
-// Footprint estimates the estimator's resident size in bytes — the
-// struct plus its heap-allocated EWMA — for per-node capacity
-// accounting.
+// Footprint estimates the estimator's resident size in bytes (the EWMA
+// is inlined in the struct) for per-node capacity accounting.
 func (c *ContactLength) Footprint() int {
-	return int(unsafe.Sizeof(*c)) + int(unsafe.Sizeof(*c.ewma))
+	return int(unsafe.Sizeof(*c))
 }
 
 // UploadAmount tracks the learned mean bytes uploaded per probed contact,
 // which SNIP-RH uses as the "enough data buffered" threshold (condition 2
 // of §VI.B).
 type UploadAmount struct {
-	ewma  *stats.EWMA
+	ewma  stats.EWMA
 	prior float64
 }
 
@@ -85,7 +84,7 @@ func NewUploadAmount(prior float64) *UploadAmount {
 	if prior <= 0 {
 		prior = 1
 	}
-	return &UploadAmount{ewma: stats.NewEWMA(DefaultAlpha), prior: prior}
+	return &UploadAmount{ewma: *stats.NewEWMA(DefaultAlpha), prior: prior}
 }
 
 // Observe records the bytes uploaded in one probed contact. Negative
@@ -109,7 +108,7 @@ func (u *UploadAmount) Threshold() float64 {
 
 // Footprint estimates the estimator's resident size in bytes.
 func (u *UploadAmount) Footprint() int {
-	return int(unsafe.Sizeof(*u)) + int(unsafe.Sizeof(*u.ewma))
+	return int(unsafe.Sizeof(*u))
 }
 
 // RushHourLearner estimates each slot's contact capacity from observed
@@ -121,14 +120,23 @@ func (u *UploadAmount) Footprint() int {
 //
 // Per-slot capacity is tracked as an EWMA over epochs so the learner can
 // also follow seasonal drift when left running (adaptive SNIP-RH).
+//
+// Per-slot state is packed: the epoch accumulator is one float64 array
+// and the cross-epoch averages live in a stats.EWMAVec (shared weight,
+// bitset seeding) instead of a slice of heap-allocated EWMAs. The
+// update numerics are bit-identical to the pointer layout; only the
+// bytes/node change, which is what the million-node budget cares about.
 type RushHourLearner struct {
 	slots     int
 	rushSlots int
-	alpha     float64
-	epochCap  []float64     // capacity observed in the current epoch
-	perEpoch  []*stats.EWMA // smoothed capacity per slot across epochs
+	epochCap  []float64      // capacity observed in the current epoch
+	perEpoch  *stats.EWMAVec // smoothed capacity per slot across epochs
 	epochs    int
 }
+
+// learnerAlpha is the per-slot capacity EWMA weight — faster than
+// DefaultAlpha because epochs are scarce.
+const learnerAlpha = 0.3
 
 // NewRushHourLearner returns a learner for the given slot count that
 // will mark rushSlots slots as rush hours. It returns an error when the
@@ -140,17 +148,12 @@ func NewRushHourLearner(slots, rushSlots int) (*RushHourLearner, error) {
 	if rushSlots <= 0 || rushSlots > slots {
 		return nil, fmt.Errorf("learn: rushSlots must be in [1, %d], got %d", slots, rushSlots)
 	}
-	l := &RushHourLearner{
+	return &RushHourLearner{
 		slots:     slots,
 		rushSlots: rushSlots,
-		alpha:     0.3, // faster than DefaultAlpha: epochs are scarce
 		epochCap:  make([]float64, slots),
-		perEpoch:  make([]*stats.EWMA, slots),
-	}
-	for i := range l.perEpoch {
-		l.perEpoch[i] = stats.NewEWMA(l.alpha)
-	}
-	return l, nil
+		perEpoch:  stats.NewEWMAVec(learnerAlpha, slots),
+	}, nil
 }
 
 // ObserveContact records a probed contact of the given capacity (seconds)
@@ -167,7 +170,7 @@ func (l *RushHourLearner) ObserveContact(slot int, capacity float64) {
 // averages and resets the epoch accumulator.
 func (l *RushHourLearner) EndEpoch() {
 	for i, c := range l.epochCap {
-		l.perEpoch[i].Observe(c)
+		l.perEpoch.Observe(i, c)
 		l.epochCap[i] = 0
 	}
 	l.epochs++
@@ -177,14 +180,13 @@ func (l *RushHourLearner) EndEpoch() {
 func (l *RushHourLearner) Epochs() int { return l.epochs }
 
 // Footprint estimates the learner's resident size in bytes: the struct,
-// its per-slot accumulator and EWMA-pointer slices, and the EWMAs
-// themselves. Per-slot state dominates a node's footprint, which is
-// what makes this the interesting term in the fleet's bytes/node gauge.
+// its per-slot accumulator, and the packed EWMA vector. Per-slot state
+// dominates a node's footprint, which is what makes this the
+// interesting term in the fleet's bytes/node gauge.
 func (l *RushHourLearner) Footprint() int {
 	n := int(unsafe.Sizeof(*l))
 	n += cap(l.epochCap) * int(unsafe.Sizeof(float64(0)))
-	n += cap(l.perEpoch) * int(unsafe.Sizeof((*stats.EWMA)(nil)))
-	n += l.slots * int(unsafe.Sizeof(stats.EWMA{}))
+	n += l.perEpoch.FootprintBytes()
 	return n
 }
 
@@ -198,8 +200,8 @@ func (l *RushHourLearner) Footprint() int {
 // from scratch, which is faster and safer than waiting for the stale
 // ranking to decay.
 func (l *RushHourLearner) Relearn() {
-	for i := range l.perEpoch {
-		l.perEpoch[i].Reset()
+	l.perEpoch.Reset()
+	for i := range l.epochCap {
 		l.epochCap[i] = 0
 	}
 	l.epochs = 0
@@ -233,8 +235,8 @@ func (l *RushHourLearner) EpochShare() (float64, bool) {
 // Capacity returns the learned per-slot capacity estimates.
 func (l *RushHourLearner) Capacity() []float64 {
 	out := make([]float64, l.slots)
-	for i, e := range l.perEpoch {
-		out[i] = e.Value()
+	for i := range out {
+		out[i] = l.perEpoch.Value(i)
 	}
 	return out
 }
@@ -416,10 +418,33 @@ func (l *RushHourLearner) State() RushHourState {
 		Slots:     make([]stats.EWMAState, l.slots),
 	}
 	copy(s.EpochCap, l.epochCap)
-	for i, e := range l.perEpoch {
-		s.Slots[i] = e.State()
+	for i := range s.Slots {
+		s.Slots[i] = l.perEpoch.State(i)
 	}
 	return s
+}
+
+// StateInto fills s with the learner's state, reusing s's backing
+// arrays when they have capacity — the allocation-free variant of
+// State the fleet's streaming binary snapshot leans on (one reused
+// buffer instead of two fresh slices per node).
+func (l *RushHourLearner) StateInto(s *RushHourState) {
+	s.RushSlots = l.rushSlots
+	s.Epochs = l.epochs
+	if cap(s.EpochCap) < l.slots {
+		s.EpochCap = make([]float64, l.slots)
+	} else {
+		s.EpochCap = s.EpochCap[:l.slots]
+	}
+	if cap(s.Slots) < l.slots {
+		s.Slots = make([]stats.EWMAState, l.slots)
+	} else {
+		s.Slots = s.Slots[:l.slots]
+	}
+	copy(s.EpochCap, l.epochCap)
+	for i := range s.Slots {
+		s.Slots[i] = l.perEpoch.State(i)
+	}
 }
 
 // RestoreRushHourLearner rebuilds a learner from exported state.
@@ -435,8 +460,8 @@ func RestoreRushHourLearner(s RushHourState) (*RushHourLearner, error) {
 		return nil, err
 	}
 	copy(l.epochCap, s.EpochCap)
-	for i := range l.perEpoch {
-		if err := l.perEpoch[i].SetState(s.Slots[i]); err != nil {
+	for i := range s.Slots {
+		if err := l.perEpoch.SetState(i, s.Slots[i]); err != nil {
 			return nil, fmt.Errorf("learn: rush-hour slot %d: %w", i, err)
 		}
 	}

@@ -1,0 +1,156 @@
+// Package shardroute scales the fleet horizontally: a consistent-hash
+// router fronting N independent fleet shards — in-process fleets,
+// remote rushprobed daemons over HTTP, or a mix. Node IDs map to
+// shards through a virtual-node hash ring, so adding or removing a
+// shard moves only ~1/N of the fleet; everything else keeps its shard,
+// its learned state, and therefore its schedule. Batch operations
+// scatter by owner and gather results back into input order.
+package shardroute
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per shard. 128 points per
+// shard keeps the expected load imbalance under a few percent for
+// double-digit shard counts while the ring stays small enough to
+// rebuild on every membership change.
+const DefaultReplicas = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring over named shards. The zero value is
+// not usable; use NewRing. Safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point
+	shards   map[string]bool
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// shard (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, shards: make(map[string]bool)}
+}
+
+// fnv1a is the ring's base hash — the same function the fleet's
+// internal store shards with, inlined to keep Owner allocation-free.
+func fnv1a(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range parts {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// mix is a splitmix64-style finalizer over the FNV output. Raw FNV-1a
+// of short, similar strings ("shard-1#17", "shard-1#18", …) clusters
+// on the ring badly enough to skew shard load severalfold; the
+// avalanche pass spreads the points uniformly. Keys and virtual nodes
+// must go through the same pipeline for Owner to be meaningful.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ringHash hashes a key (or virtual-node label) onto the ring.
+func ringHash(parts ...string) uint64 {
+	return mix(fnv1a(parts...))
+}
+
+// Add inserts a shard's virtual nodes. Adding an existing shard is an
+// error (membership changes should be deliberate).
+func (r *Ring) Add(shard string) error {
+	if shard == "" {
+		return fmt.Errorf("shardroute: empty shard name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shards[shard] {
+		return fmt.Errorf("shardroute: shard %q already on the ring", shard)
+	}
+	r.shards[shard] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: ringHash(shard, "#", strconv.Itoa(i)), shard: shard})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Extremely unlikely 64-bit collision: break the tie by name so
+		// every ring with the same membership routes identically.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return nil
+}
+
+// Remove deletes a shard's virtual nodes; keys it owned fall to their
+// next clockwise neighbor, every other key keeps its owner.
+func (r *Ring) Remove(shard string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.shards[shard] {
+		return fmt.Errorf("shardroute: shard %q is not on the ring", shard)
+	}
+	delete(r.shards, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Owner returns the shard owning the key, or false for an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the top arc
+	}
+	return r.points[i].shard, true
+}
+
+// Shards returns the ring membership, sorted.
+func (r *Ring) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of shards on the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}

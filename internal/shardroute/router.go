@@ -1,0 +1,354 @@
+package shardroute
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rushprobe/internal/fleet"
+	"rushprobe/internal/telemetry"
+)
+
+// shardState is the router's bookkeeping for one attached shard.
+type shardState struct {
+	backend Backend
+	// routedObs / routedSched count operations this router sent to the
+	// shard (not what the shard accepted) — the load-balance signal.
+	routedObs   atomic.Int64
+	routedSched atomic.Int64
+}
+
+// Router fronts N fleet shards behind one fleet-shaped API. Node IDs
+// route through a consistent-hash ring, batch operations scatter by
+// owner and gather back into input order, and snapshots fan out so
+// each shard persists its own slice of the fleet. Safe for concurrent
+// use; membership changes are safe against in-flight requests.
+type Router struct {
+	ring *Ring
+	tel  *telemetry.Telemetry
+
+	mu     sync.RWMutex
+	shards map[string]*shardState
+}
+
+// NewRouter builds an empty router. replicas <= 0 selects
+// DefaultReplicas virtual nodes per shard; tel may be nil.
+func NewRouter(replicas int, tel *telemetry.Telemetry) *Router {
+	return &Router{
+		ring:   NewRing(replicas),
+		tel:    tel,
+		shards: make(map[string]*shardState),
+	}
+}
+
+// AddShard attaches a named backend and puts it on the ring.
+func (r *Router) AddShard(name string, b Backend) error {
+	if b == nil {
+		return fmt.Errorf("shardroute: nil backend for shard %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ring.Add(name); err != nil {
+		return err
+	}
+	r.shards[name] = &shardState{backend: b}
+	return nil
+}
+
+// RemoveShard detaches a shard. Keys it owned fall to their ring
+// successors; the shard's learned state stays in its own snapshot and
+// is NOT migrated — the displaced nodes relearn on their new shard (or
+// are re-imported there from the old shard's snapshot out of band).
+func (r *Router) RemoveShard(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ring.Remove(name); err != nil {
+		return err
+	}
+	delete(r.shards, name)
+	return nil
+}
+
+// Owner reports which shard a node routes to.
+func (r *Router) Owner(node string) (string, bool) {
+	return r.ring.Owner(node)
+}
+
+// Shards returns the attached shard names, sorted.
+func (r *Router) Shards() []string {
+	return r.ring.Shards()
+}
+
+// shardFor resolves a node to its owning shard's state.
+func (r *Router) shardFor(node string) (string, *shardState, error) {
+	name, ok := r.ring.Owner(node)
+	if !ok {
+		return "", nil, errors.New("shardroute: no shards attached")
+	}
+	r.mu.RLock()
+	st := r.shards[name]
+	r.mu.RUnlock()
+	if st == nil {
+		return "", nil, fmt.Errorf("shardroute: shard %q left the ring mid-request", name)
+	}
+	return name, st, nil
+}
+
+// snapshotShards copies the current membership for a fan-out pass.
+func (r *Router) snapshotShards() map[string]*shardState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*shardState, len(r.shards))
+	for name, st := range r.shards {
+		out[name] = st
+	}
+	return out
+}
+
+// Observe partitions the batch by owning shard and scatters the
+// sub-batches concurrently. It returns the total accepted count and
+// the joined errors of every failed shard; observations routed to a
+// failing shard are counted as routed but not accepted, so the caller
+// can see the loss.
+func (r *Router) Observe(ctx context.Context, batch []fleet.Observation) (int, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	parts := make(map[string][]fleet.Observation)
+	for _, obs := range batch {
+		name, ok := r.ring.Owner(obs.Node)
+		if !ok {
+			return 0, errors.New("shardroute: no shards attached")
+		}
+		parts[name] = append(parts[name], obs)
+	}
+	shards := r.snapshotShards()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted int
+		errs     []error
+	)
+	for name, part := range parts {
+		st := shards[name]
+		if st == nil {
+			mu.Lock()
+			errs = append(errs, fmt.Errorf("shardroute: shard %q left the ring mid-request", name))
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(name string, st *shardState, part []fleet.Observation) {
+			defer wg.Done()
+			st.routedObs.Add(int64(len(part)))
+			n, err := st.backend.Observe(ctx, part)
+			mu.Lock()
+			defer mu.Unlock()
+			accepted += n
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shardroute: shard %q observe: %w", name, err))
+			}
+		}(name, st, part)
+	}
+	wg.Wait()
+	return accepted, errors.Join(errs...)
+}
+
+// Schedule routes one schedule request to the node's owner.
+func (r *Router) Schedule(ctx context.Context, node string) (*fleet.Schedule, error) {
+	_, st, err := r.shardFor(node)
+	if err != nil {
+		return nil, err
+	}
+	st.routedSched.Add(1)
+	return st.backend.Schedule(ctx, node)
+}
+
+// ScheduleBatch partitions the nodes by owner, scatters per-shard
+// batch requests concurrently, and gathers the plans back into input
+// order. Any shard failure fails the whole batch (matching
+// fleet.ScheduleBatch's all-or-nothing contract).
+func (r *Router) ScheduleBatch(ctx context.Context, nodes []string) ([]*fleet.Schedule, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	// Partition, remembering each node's position in the input.
+	type part struct {
+		nodes []string
+		idx   []int
+	}
+	parts := make(map[string]*part)
+	for i, node := range nodes {
+		name, ok := r.ring.Owner(node)
+		if !ok {
+			return nil, errors.New("shardroute: no shards attached")
+		}
+		p := parts[name]
+		if p == nil {
+			p = &part{}
+			parts[name] = p
+		}
+		p.nodes = append(p.nodes, node)
+		p.idx = append(p.idx, i)
+	}
+	shards := r.snapshotShards()
+
+	out := make([]*fleet.Schedule, len(nodes))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for name, p := range parts {
+		st := shards[name]
+		if st == nil {
+			mu.Lock()
+			errs = append(errs, fmt.Errorf("shardroute: shard %q left the ring mid-request", name))
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(name string, st *shardState, p *part) {
+			defer wg.Done()
+			st.routedSched.Add(int64(len(p.nodes)))
+			plans, err := st.backend.ScheduleBatch(ctx, p.nodes)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("shardroute: shard %q schedule batch: %w", name, err))
+				mu.Unlock()
+				return
+			}
+			// Each slot in out is written by exactly one goroutine, so
+			// the scatter needs no lock here.
+			for i, plan := range plans {
+				out[p.idx[i]] = plan
+			}
+		}(name, st, p)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetStrategy routes a strategy override to the node's owner.
+func (r *Router) SetStrategy(ctx context.Context, node, name string) (string, error) {
+	_, st, err := r.shardFor(node)
+	if err != nil {
+		return "", err
+	}
+	return st.backend.SetStrategy(ctx, node, name)
+}
+
+// Profile routes a profile read to the node's owner.
+func (r *Router) Profile(ctx context.Context, node string) (fleet.NodeProfile, error) {
+	_, st, err := r.shardFor(node)
+	if err != nil {
+		return fleet.NodeProfile{}, err
+	}
+	return st.backend.Profile(ctx, node)
+}
+
+// Stats gathers every shard's counters concurrently and merges them
+// into one fleet-wide view. CachedPlans is summed — shards solve
+// independently, so equal fingerprints may be cached more than once
+// across the fleet.
+func (r *Router) Stats(ctx context.Context) (fleet.Stats, error) {
+	per, err := r.ShardStats(ctx)
+	var total fleet.Stats
+	for _, s := range per {
+		total.Nodes += s.Nodes
+		total.Observations += s.Observations
+		total.Stale += s.Stale
+		total.Invalid += s.Invalid
+		total.PlanSolves += s.PlanSolves
+		total.PlanCacheHits += s.PlanCacheHits
+		total.CachedPlans += s.CachedPlans
+		total.DriftEvents += s.DriftEvents
+	}
+	return total, err
+}
+
+// ShardStats gathers per-shard counters concurrently. Shards that fail
+// are absent from the map and reported in the joined error.
+func (r *Router) ShardStats(ctx context.Context) (map[string]fleet.Stats, error) {
+	shards := r.snapshotShards()
+	out := make(map[string]fleet.Stats, len(shards))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for name, st := range shards {
+		wg.Add(1)
+		go func(name string, st *shardState) {
+			defer wg.Done()
+			s, err := st.backend.Stats(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shardroute: shard %q stats: %w", name, err))
+				return
+			}
+			out[name] = s
+		}(name, st)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// PersistSnapshots asks every shard to persist its own snapshot,
+// concurrently. All shards are attempted even when some fail; the
+// failures come back joined so a partial persist is loud.
+func (r *Router) PersistSnapshots(ctx context.Context) error {
+	shards := r.snapshotShards()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for name, st := range shards {
+		wg.Add(1)
+		go func(name string, st *shardState) {
+			defer wg.Done()
+			if err := st.backend.PersistSnapshot(ctx); err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("shardroute: shard %q snapshot: %w", name, err))
+				mu.Unlock()
+			}
+		}(name, st)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Collect emits the router's metric families. Register it on a
+// telemetry.Registry with AddFunc.
+func (r *Router) Collect(e *telemetry.Exposition) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	obs := make([]telemetry.LabelValue, 0, len(names))
+	sched := make([]telemetry.LabelValue, 0, len(names))
+	for _, name := range names {
+		st := r.shards[name]
+		obs = append(obs, telemetry.LabelValue{Label: name, Value: float64(st.routedObs.Load())})
+		sched = append(sched, telemetry.LabelValue{Label: name, Value: float64(st.routedSched.Load())})
+	}
+	r.mu.RUnlock()
+
+	e.Gauge("rushprobe_router_shards",
+		"Number of shards attached to the router.", float64(len(names)))
+	e.LabeledGauge("rushprobe_router_routed_observations",
+		"Observations routed to each shard since router start.", "shard", obs)
+	e.LabeledGauge("rushprobe_router_routed_schedules",
+		"Schedule requests routed to each shard since router start.", "shard", sched)
+}

@@ -1,0 +1,84 @@
+package snaplog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzSnaplogDecode feeds the frame reader arbitrary bytes. Contract:
+// never panic, never allocate past the chunked-read bound, classify
+// every stream as clean EOF / truncated / corrupt, and for every frame
+// it does accept, re-framing the decoded (type, payload) reproduces
+// the consumed prefix byte for byte.
+func FuzzSnaplogDecode(f *testing.F) {
+	frame := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(typ, payload); err != nil {
+			panic(err)
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	valid := append(frame(FrameMeta, []byte("meta")), frame(FrameNode, []byte("node-payload"))...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	bad := bytes.Clone(valid)
+	bad[7] ^= 0xff
+	f.Add(bad) // corrupt
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, FrameMeta}) // oversize length claim
+	f.Add(frame(FrameNode, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var consumed int64
+		for {
+			fr, err := r.Next()
+			if err == io.EOF {
+				if consumed != int64(len(data)) {
+					t.Fatalf("clean EOF after %d of %d bytes", consumed, len(data))
+				}
+				return
+			}
+			var te *TruncatedError
+			var ce *CorruptError
+			if errors.As(err, &te) {
+				if te.Offset != consumed {
+					t.Fatalf("tear offset %d, consumed %d", te.Offset, consumed)
+				}
+				return
+			}
+			if errors.As(err, &ce) {
+				if ce.Offset != consumed {
+					t.Fatalf("corrupt offset %d, consumed %d", ce.Offset, consumed)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unclassified error %T: %v", err, err)
+			}
+			// Accepted frame: round-trip the framing.
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			if err := w.WriteFrame(fr.Type, fr.Payload); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			end := consumed + int64(9+len(fr.Payload))
+			if !bytes.Equal(buf.Bytes(), data[consumed:end]) {
+				t.Fatalf("re-framed bytes differ from input at [%d:%d]", consumed, end)
+			}
+			if fr.Offset != consumed {
+				t.Fatalf("frame offset %d, consumed %d", fr.Offset, consumed)
+			}
+			consumed = end
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxVecCount is the per-lane sample-count ceiling of an EWMAVec. Counts
+// saturate here instead of wrapping; the EWMA value itself is unaffected
+// (the recurrence does not read the count).
+const maxVecCount = math.MaxUint32
+
+// EWMAVec is a fixed-length vector of EWMAs sharing one weight, packed
+// for density: per lane it stores an 8-byte value, a 4-byte saturating
+// sample count, and one seeded bit — about 12.1 bytes/lane against the
+// ~56 bytes a separately heap-allocated *EWMA costs. The fleet keeps one
+// per node for the per-slot capacity averages, which is what makes the
+// layout the dominant term in the million-node bytes/node budget.
+//
+// The update recurrence is bit-identical to EWMA.Observe, so swapping a
+// []*EWMA for an EWMAVec changes memory layout, not numerics.
+type EWMAVec struct {
+	alpha  float64
+	values []float64
+	counts []uint32
+	seeded []uint64 // bitset, one bit per lane
+}
+
+// NewEWMAVec returns an n-lane vector with the given weight for new
+// samples. The weight is clamped into (0, 1] exactly like NewEWMA.
+func NewEWMAVec(alpha float64, n int) *EWMAVec {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMAVec{
+		alpha:  alpha,
+		values: make([]float64, n),
+		counts: make([]uint32, n),
+		seeded: make([]uint64, (n+63)/64),
+	}
+}
+
+// Len returns the number of lanes.
+func (v *EWMAVec) Len() int { return len(v.values) }
+
+// Alpha returns the shared weight for new samples.
+func (v *EWMAVec) Alpha() float64 { return v.alpha }
+
+// Observe folds a sample into lane i.
+func (v *EWMAVec) Observe(i int, x float64) {
+	if v.counts[i] < maxVecCount {
+		v.counts[i]++
+	}
+	if !v.isSeeded(i) {
+		v.values[i] = x
+		v.setSeeded(i)
+		return
+	}
+	v.values[i] += v.alpha * (x - v.values[i])
+}
+
+// Value returns lane i's current average, or 0 before any observation.
+func (v *EWMAVec) Value(i int) float64 { return v.values[i] }
+
+// Count returns lane i's sample count (saturating at 2^32-1).
+func (v *EWMAVec) Count(i int) int { return int(v.counts[i]) }
+
+// Seeded reports whether lane i has observed at least one sample.
+func (v *EWMAVec) Seeded(i int) bool { return v.isSeeded(i) }
+
+// Reset discards every lane's state.
+func (v *EWMAVec) Reset() {
+	for i := range v.values {
+		v.values[i] = 0
+	}
+	for i := range v.counts {
+		v.counts[i] = 0
+	}
+	for i := range v.seeded {
+		v.seeded[i] = 0
+	}
+}
+
+func (v *EWMAVec) isSeeded(i int) bool { return v.seeded[i/64]&(1<<(uint(i)%64)) != 0 }
+func (v *EWMAVec) setSeeded(i int)     { v.seeded[i/64] |= 1 << (uint(i) % 64) }
+
+// State exports lane i in the same shape a standalone EWMA uses, so the
+// vector slots directly behind the existing State/Restore snapshot API.
+func (v *EWMAVec) State(i int) EWMAState {
+	return EWMAState{Value: v.values[i], Count: int(v.counts[i]), Seeded: v.isSeeded(i)}
+}
+
+// SetState replaces lane i's state. It enforces the EWMA.SetState
+// invariants plus the vector's count ceiling.
+func (v *EWMAVec) SetState(i int, s EWMAState) error {
+	if s.Count < 0 {
+		return fmt.Errorf("stats: EWMA state has negative count %d", s.Count)
+	}
+	if s.Count > maxVecCount {
+		return fmt.Errorf("stats: EWMA state count %d exceeds the packed ceiling %d", s.Count, uint64(maxVecCount))
+	}
+	if s.Seeded && s.Count == 0 {
+		return fmt.Errorf("stats: EWMA state seeded with zero samples")
+	}
+	v.values[i] = s.Value
+	v.counts[i] = uint32(s.Count)
+	if s.Seeded {
+		v.setSeeded(i)
+	} else {
+		v.seeded[i/64] &^= 1 << (uint(i) % 64)
+	}
+	return nil
+}
+
+// FootprintBytes estimates the vector's resident size: the struct plus
+// its three backing arrays.
+func (v *EWMAVec) FootprintBytes() int {
+	return 8 + 3*24 + // alpha + three slice headers
+		cap(v.values)*8 + cap(v.counts)*4 + cap(v.seeded)*8
+}
