@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build build-cmds examples test race fmt vet bench-smoke bench-baseline bench-fleetsim serve serve-sharded smoke-fleet ops-smoke loadtest soak fuzz fuzz-smoke crash-suite
+.PHONY: all build build-cmds examples test race fmt vet lint bench-smoke bench-baseline bench-fleetsim serve serve-sharded smoke-fleet ops-smoke loadtest soak fuzz fuzz-smoke crash-suite
 
-all: fmt vet build test
+all: fmt vet lint build test
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,20 @@ test:
 
 # -short skips the slow simulation goldens (they are numeric, not
 # concurrent, and the plain `make test` already runs them in full).
-# internal/fleetsim is the closed-loop co-sim smoke: its parallel ==
-# serial determinism test must stay race-clean.
+# The package set is derived (./...), never hand-maintained: a new
+# package with tests is race-checked the day it lands, and
+# TestRaceTargetIsDerived pins this recipe against regressing to a
+# hand-curated list that silently drops packages.
 race:
-	$(GO) test -race -short . ./internal/pool/ ./internal/des/ ./internal/sim/ ./internal/analysis/ ./internal/experiments/ ./internal/learn/ ./internal/drift/ ./internal/fleet/ ./internal/fleetsim/ ./internal/snaplog/ ./internal/shardroute/ ./internal/telemetry/ ./cmd/rushprobed/
+	$(GO) test -race -short ./...
+
+# rushlint is the repo's own static-analysis suite (internal/lint): it
+# mechanically enforces the invariants in docs/ARCHITECTURE.md —
+# determinism (no wall clock / global rand / map-order dependence),
+# bit-exact float persistence, fsync-and-checked-error durability,
+# nothing slow under a shard lock, and allocation-free hot paths.
+lint:
+	$(GO) run ./cmd/rushlint ./...
 
 # Fuzz the binary persistence formats: the snaplog frame decoder and
 # the packed profile record. Arbitrary bytes must never panic or

@@ -97,6 +97,8 @@ func (q eventQueue) swap(i, j int) {
 }
 
 // push appends ev and restores the heap property.
+//
+//rushlint:hotpath
 func (q *eventQueue) push(ev *event) {
 	ev.index = int32(len(*q))
 	*q = append(*q, ev)
@@ -104,6 +106,8 @@ func (q *eventQueue) push(ev *event) {
 }
 
 // popMin removes and returns the minimum element.
+//
+//rushlint:hotpath
 func (q *eventQueue) popMin() *event {
 	old := *q
 	top := old[0]
@@ -204,6 +208,8 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // alloc takes an event record from the free list, or allocates one when
 // the pool is empty (only during warm-up; steady state recycles).
+//
+//rushlint:hotpath
 func (s *Simulator) alloc() *event {
 	if n := len(s.free); n > 0 {
 		ev := s.free[n-1]
@@ -216,6 +222,8 @@ func (s *Simulator) alloc() *event {
 
 // recycle returns a record to the free list, invalidating outstanding
 // refs to it by bumping the generation.
+//
+//rushlint:hotpath
 func (s *Simulator) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
@@ -226,8 +234,11 @@ func (s *Simulator) recycle(ev *event) {
 // ScheduleAt schedules fn at the absolute instant at. The name labels the
 // event in diagnostics. It returns the event handle, or an error when at
 // is in the past.
+//
+//rushlint:hotpath
 func (s *Simulator) ScheduleAt(at simtime.Instant, name string, fn Handler) (EventRef, error) {
 	if at.Before(s.now) {
+		//rushlint:allow hotpath — error path only; scheduling in the past is caller misuse, never the steady state
 		return EventRef{}, fmt.Errorf("%w: at %v, now %v (%s)", ErrPastEvent, at, s.now, name)
 	}
 	ev := s.alloc()
@@ -259,6 +270,8 @@ func (s *Simulator) Cancel(ref EventRef) {
 }
 
 // Step fires the next event. It returns false when the queue is empty.
+//
+//rushlint:hotpath
 func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false

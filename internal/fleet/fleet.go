@@ -399,6 +399,7 @@ func (f *Fleet) ObserveContext(ctx context.Context, batch []Observation) int {
 	return accepted
 }
 
+//rushlint:hotpath
 func (f *Fleet) observe(batch []Observation) int {
 	accepted := 0
 	for i := range batch {
@@ -427,6 +428,8 @@ func (f *Fleet) observe(batch []Observation) int {
 // advanceTo folds the epoch boundaries between the profile's current
 // epoch and e (exclusive) into the learner, in order. Callers hold the
 // shard lock and guarantee e >= p.epoch.
+//
+//rushlint:hotpath
 func (f *Fleet) advanceTo(p *profile, e int) {
 	if gap := e - p.epoch; gap > f.cfg.MaxEpochSkip {
 		// The node was silent long enough that every EWMA has decayed to
@@ -447,6 +450,8 @@ func (f *Fleet) advanceTo(p *profile, e int) {
 // monitor the epoch's observation streams, folds the learner, and —
 // when a detector fired — relearns the node. Callers hold the shard
 // lock and advance p.epoch themselves.
+//
+//rushlint:hotpath
 func (f *Fleet) foldEpoch(p *profile) {
 	fired := false
 	if p.mon != nil && p.learner.Epochs() >= f.cfg.BootstrapEpochs {
@@ -487,10 +492,8 @@ func (f *Fleet) foldEpoch(p *profile) {
 		if tel := f.cfg.Telemetry; tel != nil {
 			// Drift firings are rare and operators page on them; surface
 			// each one as a structured event, not just a counter bump.
-			tel.Logger.Info("drift detected, node relearning",
-				"node", p.id,
-				"epoch", p.epoch,
-				"nodeDriftEvents", p.driftEvents)
+			//rushlint:allow hotpath — drift firings are rare by construction; the boxed slog args are off the steady-state fold path
+			tel.Logger.Info("drift detected, node relearning", "node", p.id, "epoch", p.epoch, "nodeDriftEvents", p.driftEvents)
 		}
 	}
 }
@@ -498,6 +501,8 @@ func (f *Fleet) foldEpoch(p *profile) {
 // fold applies one valid observation to a profile. Epoch boundaries
 // crossed since the node's last observation are folded into the learner
 // in order, so ingest is deterministic in batch order.
+//
+//rushlint:hotpath
 func (f *Fleet) fold(p *profile, o *Observation) bool {
 	at := simtime.Instant(o.Time)
 	e := f.clk.EpochIndex(at)
@@ -624,9 +629,9 @@ func (f *Fleet) schedule(node string) (*Schedule, string, error) {
 	}
 	sh := f.shardOf(node)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	p := sh.nodes[node]
 	if p == nil {
+		sh.mu.Unlock()
 		// An unknown node is indistinguishable from a just-created
 		// profile: zero completed epochs means the bootstrap plan (a
 		// BootstrapEpochs of 0 only graduates nodes that exist, and they
@@ -634,15 +639,26 @@ func (f *Fleet) schedule(node string) (*Schedule, string, error) {
 		return f.bootstrap, "bootstrap", nil
 	}
 	if p.sched != nil {
-		return p.sched, "node", nil
+		s := p.sched
+		sh.mu.Unlock()
+		return s, "node", nil
 	}
 	strat := f.strategyInForce(p)
 	if strat == MechanismAT || p.learner.Epochs() < f.cfg.BootstrapEpochs {
 		p.sched = f.bootstrap
-		return p.sched, "bootstrap", nil
+		sh.mu.Unlock()
+		return f.bootstrap, "bootstrap", nil
 	}
 	sc := f.learnedScenario(p)
 	fp, err := sc.Fingerprint()
+	// The optimizer solve must not run under the shard lock: the lock
+	// serializes every Observe and Schedule on this shard, and a solve
+	// is milliseconds of CPU against the ingest path's nanoseconds
+	// (rushlint's locksafe analyzer now rejects callbacks under the
+	// lock, which is exactly where this solve used to hide). The
+	// snapshot of learned state taken above — strat, sc, fp — fully
+	// determines the plan, so the solve needs nothing the lock guards.
+	sh.mu.Unlock()
 	if err != nil {
 		return nil, "", err
 	}
@@ -672,7 +688,20 @@ func (f *Fleet) schedule(node string) (*Schedule, string, error) {
 	if !hit {
 		source = "miss"
 	}
-	p.sched = sched
+	// Re-take the lock to pin the plan on the node, but only if the
+	// profile still quantizes to the scenario the plan was solved for —
+	// a concurrent Observe, AdvanceEpoch, SetStrategy, or Restore may
+	// have moved the node on while the solve ran, and pinning a plan
+	// for the superseded state would serve it stale until the next
+	// invalidation. The plan we computed is still correct for the
+	// request that asked for it either way.
+	sh.mu.Lock()
+	if sh.nodes[node] == p && p.sched == nil && f.strategyInForce(p) == strat {
+		if fp2, err2 := f.learnedScenario(p).Fingerprint(); err2 == nil && fp2 == fp {
+			p.sched = sched
+		}
+	}
+	sh.mu.Unlock()
 	return sched, source, nil
 }
 

@@ -3,14 +3,17 @@ package fleet
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rushprobe/internal/scenario"
+	"rushprobe/internal/strategy"
 )
 
 func newTestFleet(t *testing.T, cfg Config) *Fleet {
@@ -675,5 +678,76 @@ func TestScheduleBatchServesInOrder(t *testing.T) {
 	}
 	if _, err := f.ScheduleBatch([]string{"warm", ""}); err == nil {
 		t.Fatal("batch with an empty node ID must fail")
+	}
+}
+
+// blockingStrategy parks inside Plan until released, simulating a slow
+// optimizer solve. It signals entry on entered (buffered, solves run at
+// most once through the plan cache's singleflight).
+type blockingStrategy struct {
+	name    string
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingStrategy) Name() string { return b.name }
+
+func (b *blockingStrategy) Plan(sc *scenario.Scenario) (*strategy.Plan, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return &strategy.Plan{Strategy: b.name, Duty: make([]float64, len(sc.Slots))}, nil
+}
+
+func (b *blockingStrategy) Schedulers(sc *scenario.Scenario) (strategy.Factory, error) {
+	return nil, errors.New("blockingStrategy serves plans only")
+}
+
+// TestScheduleSolvesOutsideShardLock pins the locksafe invariant on the
+// serving path: a plan solve must not run while the shard mutex is
+// held. Before the fix, schedule() executed the solve inside
+// cache.get's sync.Once callback with the shard locked, so a single
+// slow solve stalled every Observe and Schedule on that shard; this
+// test parks a solve inside the strategy and requires ingest on the
+// same (only) shard to keep flowing.
+func TestScheduleSolvesOutsideShardLock(t *testing.T) {
+	b := &blockingStrategy{
+		name:    "TEST-BLOCKING-SOLVE",
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	if err := strategy.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	f := newTestFleet(t, Config{Mechanism: b.name, Shards: 1})
+	f.Observe(syntheticDays("slow", 4, 10, 2.0))
+
+	schedDone := make(chan error, 1)
+	go func() {
+		_, err := f.Schedule("slow")
+		schedDone <- err
+	}()
+	select {
+	case <-b.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("solve was never entered")
+	}
+
+	obsDone := make(chan int, 1)
+	go func() {
+		obsDone <- f.Observe([]Observation{{Node: "other", Time: 0, Length: 2, Uploaded: -1}})
+	}()
+	select {
+	case n := <-obsDone:
+		if n != 1 {
+			t.Fatalf("observe accepted %d observations, want 1", n)
+		}
+	case <-time.After(5 * time.Second):
+		close(b.release)
+		t.Fatal("Observe blocked behind an in-flight plan solve: the solve is running under the shard lock")
+	}
+
+	close(b.release)
+	if err := <-schedDone; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -96,22 +96,22 @@ func (l *nodeLoop) OnEpochStart(epoch int) {
 		return
 	}
 	i := l.timingIndex(epoch)
-	t0 := time.Now()
+	t0 := time.Now() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	l.flush()
-	t1 := time.Now()
+	t1 := time.Now() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	l.ingestSec[i] += t1.Sub(t0).Seconds()
 	if err := l.fleet.AdvanceEpoch(l.id, epoch); err != nil {
 		l.err = err
 		return
 	}
-	t2 := time.Now()
+	t2 := time.Now() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	l.advanceSec[i] += t2.Sub(t1).Seconds()
 	sched, err := l.fleet.Schedule(l.id)
 	if err != nil {
 		l.err = err
 		return
 	}
-	l.scheduleSec[i] += time.Since(t2).Seconds()
+	l.scheduleSec[i] += time.Since(t2).Seconds() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	l.duty = sched.Duty
 }
 
@@ -143,12 +143,12 @@ func (l *nodeLoop) finish(epochs int) error {
 		return l.err
 	}
 	i := l.timingIndex(epochs)
-	t0 := time.Now()
+	t0 := time.Now() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	l.flush()
-	t1 := time.Now()
+	t1 := time.Now() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	l.ingestSec[i] += t1.Sub(t0).Seconds()
 	err := l.fleet.AdvanceEpoch(l.id, epochs)
-	l.advanceSec[i] += time.Since(t1).Seconds()
+	l.advanceSec[i] += time.Since(t1).Seconds() //rushlint:allow wallclock — StageTimings telemetry; excluded from the determinism surface (zeroed in the parallel==serial test)
 	return err
 }
 

@@ -159,6 +159,8 @@ func NewRushHourLearner(slots, rushSlots int) (*RushHourLearner, error) {
 // ObserveContact records a probed contact of the given capacity (seconds)
 // in the given slot of the current epoch. Non-positive and non-finite
 // capacities are ignored.
+//
+//rushlint:hotpath
 func (l *RushHourLearner) ObserveContact(slot int, capacity float64) {
 	if slot < 0 || slot >= l.slots || !(capacity > 0) || math.IsInf(capacity, 0) {
 		return

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetClock enforces the determinism invariant in the packages whose
+// outputs feed goldens and the parallel==serial tests: no wall-clock
+// reads, no draws from the global math/rand source, and no
+// order-sensitive iteration over maps.
+//
+// Telemetry taps that deliberately read the wall clock (and are zeroed
+// out of the determinism surface) annotate each read with
+// //rushlint:allow wallclock — <reason>.
+var DetClock = &Analyzer{
+	Name:    "detclock",
+	Doc:     "forbid wall-clock reads, global math/rand, and map-order iteration in deterministic packages",
+	Applies: deterministicPackages,
+	Run:     detclockRun,
+}
+
+// wallclockFuncs are the time functions that read or depend on the wall
+// clock. Pure constructors and conversions (time.Duration arithmetic,
+// time.Unix, time.Date) are fine.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"Sleep": true, "NewTicker": true, "NewTimer": true,
+}
+
+// globalRandExempt are the math/rand package-level functions that do
+// NOT touch the global source: constructors for private sources, which
+// is exactly what internal/rng builds its seeded streams from.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the repo migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func detclockRun(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				detclockCall(pass, n)
+			case *ast.RangeStmt:
+				detclockRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func detclockCall(pass *Pass, call *ast.CallExpr) {
+	fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Float64, time.Time.Sub) are pure
+	}
+	switch trimVendor(fn.Pkg().Path()) {
+	case "time":
+		if wallclockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; deterministic code must derive time from the simulation clock (annotate telemetry taps with //rushlint:allow wallclock — <reason>)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandExempt[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global source; use an internal/rng stream derived from the run's seed", fn.Name())
+		}
+	}
+}
+
+// detclockRange flags ranges over maps unless every statement in the
+// body is order-insensitive by construction: collecting keys for a
+// later sort, exact integer accumulation (+=, |=, &=, ^=, ++/--),
+// transferring entries into another map, or deleting entries. Floating
+// point accumulation is deliberately NOT exempt — float addition is not
+// associative, so the sum depends on iteration order.
+func detclockRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	for _, st := range rng.Body.List {
+		if !orderInsensitiveStmt(pass, rng, st) {
+			pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and this body is order-sensitive; iterate sorted keys instead (or annotate a provably commutative fold with //rushlint:allow maporder — <reason>)")
+			return
+		}
+	}
+}
+
+func orderInsensitiveStmt(pass *Pass, rng *ast.RangeStmt, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return isExactAccumulator(pass.TypeOf(s.X))
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return isExactAccumulator(pass.TypeOf(s.Lhs[0]))
+		case token.ASSIGN:
+			// ks = append(ks, k): key collection, sorted before use.
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") && len(call.Args) == 2 {
+				if sameIdent(s.Lhs[0], call.Args[0]) && sameIdent(rng.Key, call.Args[1]) {
+					return true
+				}
+			}
+			// other[k] = v: per-key map transfer; keys are unique, so
+			// the result is iteration-order independent.
+			if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				if mt := pass.TypeOf(idx.X); mt != nil {
+					if _, isMap := mt.Underlying().(*types.Map); isMap {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(pass, call, "delete") {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// isExactAccumulator reports whether accumulating into a value of type
+// t is order-independent: integers are, floats are not.
+func isExactAccumulator(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	x, ok1 := ast.Unparen(a).(*ast.Ident)
+	y, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && x.Name == y.Name
+}

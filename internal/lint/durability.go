@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Durability enforces the snapshot/snaplog write-path contract: Sync,
+// Close, and Rename errors must be checked (an unflushed or failed
+// close is a silent lost write), and a rename that publishes freshly
+// written bytes must be preceded by an fsync in the same function, or
+// the "atomic" replace can publish an empty file after a crash.
+//
+// Two idioms stay legal without annotation: `defer f.Close()`
+// (best-effort cleanup; the write path checks the explicit Close), and
+// an ignored Close immediately followed by returning an earlier,
+// more-important error.
+var Durability = &Analyzer{
+	Name:    "durability",
+	Doc:     "require checked Sync/Close/Rename errors and fsync-before-rename in snapshot write paths",
+	Applies: durabilityPackages,
+	Run:     durabilityRun,
+}
+
+func durabilityRun(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			durabilityFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func durabilityFunc(pass *Pass, fd *ast.FuncDecl) {
+	var (
+		renames       []*ast.CallExpr
+		sawSync       bool
+		opensForWrite bool
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isOsFileMethod(pass, call, "Sync"):
+			sawSync = true
+		case isOsFunc(pass, call, "Rename"):
+			renames = append(renames, call)
+		case isOsFunc(pass, call, "Create"), isOsFunc(pass, call, "CreateTemp"), isOsFunc(pass, call, "OpenFile"):
+			opensForWrite = true
+		}
+		return true
+	})
+	if opensForWrite && !sawSync {
+		for _, r := range renames {
+			pass.Reportf(r.Pos(), "os.Rename publishes freshly written bytes without an fsync in this function; Sync the file (and ideally the directory) before renaming, or a crash can publish a truncated file")
+		}
+	}
+	durabilityIgnoredErrors(pass, fd.Body)
+}
+
+// durabilityIgnoredErrors walks statement lists looking for Sync/Close/
+// Rename calls whose error result is dropped.
+func durabilityIgnoredErrors(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // defer f.Close() is best-effort cleanup by design
+		case *ast.BlockStmt:
+			checkIgnoredInList(pass, n.List)
+		case *ast.CaseClause:
+			checkIgnoredInList(pass, n.Body)
+		case *ast.CommClause:
+			checkIgnoredInList(pass, n.Body)
+		}
+		return true
+	})
+}
+
+func checkIgnoredInList(pass *Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		call := ignoredDurabilityCall(pass, st)
+		if call == nil {
+			continue
+		}
+		if errorReturnFollows(stmts[i+1:]) {
+			// cleanup on a path already returning a prior error: the
+			// original error wins, ignoring the close is deliberate.
+			continue
+		}
+		pass.Reportf(call.Pos(), "%s error ignored on a durability path; a failed %s is a lost write — check it (cleanup before returning an earlier error is exempt)", durabilityCallName(pass, call), durabilityCallName(pass, call))
+	}
+}
+
+// ignoredDurabilityCall returns the Sync/Close/Rename call whose error
+// the statement drops, or nil.
+func ignoredDurabilityCall(pass *Pass, st ast.Stmt) *ast.CallExpr {
+	var call *ast.CallExpr
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil
+		}
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+				return nil
+			}
+		}
+		call, _ = s.Rhs[0].(*ast.CallExpr)
+	}
+	if call == nil {
+		return nil
+	}
+	if isOsFileMethod(pass, call, "Sync") || isOsFileMethod(pass, call, "Close") || isOsFunc(pass, call, "Rename") {
+		return call
+	}
+	return nil
+}
+
+// errorReturnFollows reports whether the remaining statements of the
+// block return a non-nil expression (i.e. the block is an error path
+// propagating an earlier failure).
+func errorReturnFollows(rest []ast.Stmt) bool {
+	for _, st := range rest {
+		ret, ok := st.(*ast.ReturnStmt)
+		if !ok {
+			continue
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func durabilityCallName(pass *Pass, call *ast.CallExpr) string {
+	if fn, ok := pass.ObjectOf(call.Fun).(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(*os.File)." + fn.Name()
+		}
+		return "os." + fn.Name()
+	}
+	return "call"
+}
+
+// isOsFileMethod reports whether the call is method name on *os.File.
+func isOsFileMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || trimVendor(fn.Pkg().Path()) != "os" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}
+
+// isOsFunc reports whether the call is the package-level os function.
+func isOsFunc(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || trimVendor(fn.Pkg().Path()) != "os" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath keeps the allocation-free benchmarks honest at the source
+// level: a function marked //rushlint:hotpath in its doc comment (the
+// ingest fold, the DES step, the estimator observes) must not contain
+// the constructs that put allocations on the steady-state path — fmt
+// calls, capturing closures, value-to-interface boxing, or
+// string<->[]byte conversions. Rare branches inside a hot function
+// (error paths, drift firings) annotate the line with
+// //rushlint:allow hotpath — <reason>.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag heap-allocating constructs in functions marked //rushlint:hotpath",
+	Run:  hotpathRun,
+}
+
+func hotpathRun(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDirective(fd) {
+				continue
+			}
+			hotpathFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	var results *types.Tuple
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		results = obj.Type().(*types.Signature).Results()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := captures(pass, fd, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "closure captures %s and allocates on the hot path; hoist it or pass state explicitly", caps[0])
+			}
+			return false // the literal's own body is not this function's hot path
+		case *ast.CallExpr:
+			hotpathCall(pass, n)
+		case *ast.ReturnStmt:
+			hotpathReturn(pass, n, results)
+		case *ast.AssignStmt:
+			hotpathAssign(pass, n)
+		}
+		return true
+	})
+}
+
+func hotpathCall(pass *Pass, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		hotpathConversion(pass, call, tv.Type)
+		return
+	}
+	if fn, ok := pass.ObjectOf(call.Fun).(*types.Func); ok && fn.Pkg() != nil && trimVendor(fn.Pkg().Path()) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting state, boxed arguments) on the hot path", fn.Name())
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				if i == params.Len()-1 {
+					param = params.At(params.Len() - 1).Type()
+				}
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < params.Len():
+			param = params.At(i).Type()
+		}
+		reportBoxing(pass, arg, param, "argument")
+	}
+}
+
+func hotpathReturn(pass *Pass, ret *ast.ReturnStmt, results *types.Tuple) {
+	if results == nil || len(ret.Results) != results.Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		reportBoxing(pass, res, results.At(i).Type(), "return value")
+	}
+}
+
+func hotpathAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		reportBoxing(pass, as.Rhs[i], pass.TypeOf(as.Lhs[i]), "assignment")
+	}
+}
+
+// reportBoxing flags a concrete value crossing into an interface: the
+// conversion heap-allocates unless the value is pointer-shaped and
+// escapes analysis' good graces.
+func reportBoxing(pass *Pass, expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	at := pass.TypeOf(expr)
+	if at == nil || types.IsInterface(at) {
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s boxes %s into %s on the hot path (interface conversion allocates)", what, at.String(), target.String())
+}
+
+func hotpathConversion(pass *Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isString(target) && isByteSlice(src) || isByteSlice(target) && isString(src) {
+		pass.Reportf(call.Pos(), "string<->[]byte conversion copies and allocates on the hot path")
+	}
+}
+
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// captures returns the names of enclosing-function variables the
+// literal closes over (lexically: objects declared inside the enclosing
+// function but outside the literal).
+func captures(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || seen[obj] {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+			seen[obj] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	return names
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafe polices critical sections on the sharded data plane: while a
+// shard (or any sync.Mutex/RWMutex) is held, the code must not perform
+// I/O, HTTP, optimizer solves, or channel operations — the shard lock
+// serializes every Observe and Schedule on that shard, so anything
+// slower than memory work under it stalls the serving path. Passing a
+// function literal to another function while holding a lock is flagged
+// too (the callback runs inside the critical section — exactly how an
+// optimizer solve once hid under the shard lock behind sync.Once.Do).
+//
+// The analysis is lexical and intra-procedural: it sees direct calls in
+// the locked function, not callees. Deliberate exceptions (e.g. the
+// streaming binary snapshot, which holds one shard at a time while
+// writing frames to bound memory) annotate with
+// //rushlint:allow locksafe — <reason>.
+var LockSafe = &Analyzer{
+	Name:    "locksafe",
+	Doc:     "forbid I/O, HTTP, solves, and channel ops while a shard mutex is held",
+	Applies: lockPackages,
+	Run:     locksafeRun,
+}
+
+// blockingPackages are packages whose calls mean I/O, network, or an
+// optimizer solve — none of which belong under a shard lock.
+var blockingPackages = map[string]bool{
+	"os": true, "net": true, "net/http": true,
+	"io": true, "io/fs": true, "bufio": true,
+	"log": true, "log/slog": true,
+	Module + "/internal/opt":     true,
+	Module + "/internal/snaplog": true,
+}
+
+// funcLitSafeCallees may take function literals under a lock: their
+// callbacks are pure in-memory work.
+var funcLitSafeCallees = map[string]bool{
+	"sort": true,
+}
+
+func locksafeRun(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				locksafeStmts(pass, fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// locksafeStmts walks a statement list in order, tracking which locks
+// are held. Compound statements recurse with a copy of the held set, so
+// a branch that unlocks (then returns) does not clear the lock for the
+// fall-through path.
+func locksafeStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if recv, locks, unlocks := lockCall(pass, s.X); recv != "" {
+				if locks {
+					held[recv] = true
+				} else if unlocks {
+					delete(held, recv)
+				}
+				continue
+			}
+			locksafeCheck(pass, st, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end;
+			// other defers run after the section, so skip their bodies.
+			continue
+		case *ast.BlockStmt:
+			locksafeStmts(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			locksafeCheckExprs(pass, s.Cond, held)
+			if s.Init != nil {
+				locksafeCheck(pass, s.Init, held)
+			}
+			locksafeStmts(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				locksafeStmts(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			locksafeCheckExprs(pass, s.Cond, held)
+			locksafeStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if t := pass.TypeOf(s.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(s.Pos(), "receiving from a channel while holding %s", heldNames(held))
+					}
+				}
+			}
+			locksafeStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			locksafeCheckExprs(pass, s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					locksafeStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					locksafeStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				pass.Reportf(s.Pos(), "select over channels while holding %s", heldNames(held))
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					locksafeStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			locksafeStmts(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			continue // the spawned goroutine does not run under this lock
+		default:
+			locksafeCheck(pass, st, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func heldNames(held map[string]bool) string {
+	var names []string
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic output for multiple locks.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// lockCall recognizes mu.Lock/RLock/Unlock/RUnlock expression
+// statements on sync mutexes and returns the receiver's printed form.
+func lockCall(pass *Pass, e ast.Expr) (recv string, locks, unlocks bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil || trimVendor(fn.Pkg().Path()) != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+func locksafeCheckExprs(pass *Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	locksafeInspect(pass, e, held)
+}
+
+func locksafeCheck(pass *Pass, st ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	locksafeInspect(pass, st, held)
+}
+
+// locksafeInspect scans one statement (or expression) for violations,
+// without descending into function literals: a literal's body runs when
+// it is called, and if it is called right here, the funcLit-argument
+// rule reports the call that smuggles it into the critical section.
+func locksafeInspect(pass *Pass, root ast.Node, held map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "sending on a channel while holding %s", heldNames(held))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "receiving from a channel while holding %s", heldNames(held))
+			}
+		case *ast.CallExpr:
+			locksafeCall(pass, n, held)
+		}
+		return true
+	})
+}
+
+func locksafeCall(pass *Pass, call *ast.CallExpr, held map[string]bool) {
+	fn, _ := pass.ObjectOf(call.Fun).(*types.Func)
+	var pkg string
+	if fn != nil && fn.Pkg() != nil {
+		pkg = trimVendor(fn.Pkg().Path())
+	}
+	if pkg != "" {
+		if blockingPackages[pkg] {
+			pass.Reportf(call.Pos(), "call to %s.%s while holding %s: no I/O, HTTP, solves, or blocking work under a shard lock", pkg, fn.Name(), heldNames(held))
+			return
+		}
+		if pkg == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+			pass.Reportf(call.Pos(), "fmt.%s writes to an io.Writer while holding %s", fn.Name(), heldNames(held))
+			return
+		}
+		if pkg == "time" && fn.Name() == "Sleep" {
+			pass.Reportf(call.Pos(), "time.Sleep while holding %s", heldNames(held))
+			return
+		}
+	}
+	if !funcLitSafeCallees[pkg] {
+		for _, arg := range call.Args {
+			if _, ok := arg.(*ast.FuncLit); ok {
+				pass.Reportf(call.Pos(), "function literal passed to a call while holding %s: the callback runs inside the critical section (an optimizer solve once hid under the shard lock this way)", heldNames(held))
+				return
+			}
+		}
+	}
+}

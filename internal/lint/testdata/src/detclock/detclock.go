@@ -1,0 +1,72 @@
+// Package detclock seeds one violation of each detclock rule alongside
+// the idioms that must stay legal. The `want` comments are assertions
+// consumed by the fixture runner in internal/lint.
+package detclock
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wallclock reads the wall clock three ways; all are forbidden.
+func Wallclock() time.Duration {
+	t0 := time.Now()             // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(t0)        // want `time\.Since reads the wall clock`
+}
+
+// Allowed documents the telemetry escape hatch: the wallclock alias
+// resolves to detclock and suppresses the read on the next line.
+func Allowed() time.Time {
+	//rushlint:allow wallclock — fixture: telemetry tap excluded from the determinism surface
+	return time.Now()
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+// SeededRand builds a private stream, the sanctioned idiom; the
+// constructors and the methods on the resulting *rand.Rand are exempt.
+func SeededRand() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// SumFloats folds map values in iteration order; float addition is not
+// associative, so the result depends on the order.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+// SortedKeys collects keys for a later sort: order-insensitive, legal.
+func SortedKeys(m map[string]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// CountInts accumulates integers: exact and commutative, legal.
+func CountInts(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Transfer copies entries into another map: keys are unique, legal.
+func Transfer(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

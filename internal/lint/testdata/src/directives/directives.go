@@ -1,0 +1,12 @@
+// Package directives seeds malformed rushlint directives; the fixture
+// runner asserts each one is itself reported.
+package directives
+
+//rushlint:frobnicate // want `unknown rushlint directive`
+
+//rushlint:allow detclock // want `malformed //rushlint:allow directive`
+
+//rushlint:allow nosuchanalyzer — a perfectly good reason // want `malformed //rushlint:allow directive`
+
+// Placeholder keeps the package non-empty for the type checker.
+const Placeholder = 1

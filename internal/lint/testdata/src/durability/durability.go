@@ -1,0 +1,55 @@
+// Package durability seeds unchecked Sync/Close/Rename errors and a
+// rename-without-fsync alongside the write-path idioms that stay legal.
+package durability
+
+import "os"
+
+// PublishUnsynced renames freshly written bytes without an fsync: a
+// crash between the write and the journal flush can publish a
+// truncated file.
+func PublishUnsynced(dir string) error {
+	f, err := os.Create(dir + "/tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() // legal: cleanup before returning the earlier error
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/tmp", dir+"/final") // want `os\.Rename publishes freshly written bytes without an fsync`
+}
+
+// PublishSynced syncs before renaming: legal.
+func PublishSynced(dir string) error {
+	f, err := os.Create(dir + "/tmp")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // legal: best-effort cleanup; the explicit Close below is checked
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/tmp", dir+"/final")
+}
+
+// Ignored drops durability errors on the floor.
+func Ignored(f *os.File, dir string) {
+	f.Sync()                          // want `\(\*os\.File\)\.Sync error ignored`
+	f.Close()                         // want `\(\*os\.File\)\.Close error ignored`
+	_ = os.Rename(dir+"/a", dir+"/b") // want `os\.Rename error ignored`
+}
+
+// AllowedClose documents the annotated escape.
+func AllowedClose(f *os.File) {
+	//rushlint:allow durability — fixture: old inode fully superseded by a rename
+	f.Close()
+}

@@ -1,0 +1,49 @@
+// Package floatexact seeds textual float formatting in "persistence"
+// code alongside the exact encodings that must stay legal.
+package floatexact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Record is persisted state carrying a float.
+type Record struct {
+	Mean float64
+	N    int
+}
+
+// Flat has no floats; marshaling it is legal.
+type Flat struct {
+	Name string
+	N    int
+}
+
+// Format exercises the forbidden textual paths.
+func Format(w io.Writer, r Record) ([]byte, error) {
+	s := fmt.Sprintf("%v", r.Mean)               // want `fmt\.Sprintf formats a float`
+	_ = strconv.FormatFloat(r.Mean, 'g', -1, 64) // want `strconv\.FormatFloat is textual float formatting`
+	fmt.Fprintf(w, "%f\n", r.Mean)               // want `fmt\.Fprintf formats a float`
+	_ = s
+	return json.Marshal(r) // want `json\.Marshal of a float-carrying type`
+}
+
+// Exact is the sanctioned encoding.
+func Exact(r Record) uint64 { return math.Float64bits(r.Mean) }
+
+// Errors stay exempt: error strings are diagnostics, not persisted state.
+func Errors(r Record) error {
+	return fmt.Errorf("bad mean %g", r.Mean)
+}
+
+// FloatFree marshals a float-free type, which is legal.
+func FloatFree(f Flat) ([]byte, error) { return json.Marshal(f) }
+
+// Allowed is the annotated-exception idiom (exactness pinned by a test).
+func Allowed(r Record) ([]byte, error) {
+	//rushlint:allow floatexact — fixture: exactness pinned by a round-trip test
+	return json.Marshal(r)
+}

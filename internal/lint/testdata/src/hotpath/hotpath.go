@@ -1,0 +1,39 @@
+// Package hotpath seeds each heap-allocating construct in a function
+// marked //rushlint:hotpath, and repeats them in an unmarked function
+// where they are legal.
+package hotpath
+
+import "fmt"
+
+func consume(vs ...any) {
+	for range vs {
+	}
+}
+
+// Hot is on the steady-state path and must not allocate.
+//
+//rushlint:hotpath
+func Hot(n int, b []byte) string {
+	msg := fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates`
+	f := func() int { return n }  // want `closure captures n`
+	consume(n)                    // want `argument boxes int into any`
+	_ = string(b)                 // want `string<->\[\]byte conversion copies`
+	_ = f()
+	return msg
+}
+
+// HotWithRareBranch annotates a rare branch: the error path may format.
+//
+//rushlint:hotpath
+func HotWithRareBranch(n int) string {
+	if n < 0 {
+		//rushlint:allow hotpath — fixture: error path, not the steady state
+		return fmt.Sprintf("bad n=%d", n)
+	}
+	return ""
+}
+
+// Cold is unmarked: the same constructs are fine off the hot path.
+func Cold(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

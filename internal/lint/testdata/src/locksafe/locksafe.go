@@ -1,0 +1,62 @@
+// Package locksafe seeds blocking work inside critical sections
+// alongside the locked idioms that stay legal.
+package locksafe
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	nodes map[string]int
+}
+
+func run(f func()) { f() }
+
+// UnderLock seeds one violation of each locksafe rule.
+func UnderLock(s *shard, w io.Writer, ch chan int, path string) {
+	s.mu.Lock()
+	_ = os.WriteFile(path, nil, 0o644)     // want `call to os\.WriteFile while holding s\.mu`
+	fmt.Fprintf(w, "n=%d\n", len(s.nodes)) // want `fmt\.Fprintf writes to an io\.Writer while holding s\.mu`
+	time.Sleep(time.Millisecond)           // want `time\.Sleep while holding s\.mu`
+	ch <- 1                                // want `sending on a channel while holding s\.mu`
+	<-ch                                   // want `receiving from a channel while holding s\.mu`
+	run(func() { s.nodes["x"]++ })         // want `function literal passed to a call while holding s\.mu`
+	s.mu.Unlock()
+	_ = os.WriteFile(path, nil, 0o644) // legal: the lock is released
+}
+
+// SortUnderLock shows the sort exemption: the comparator is pure
+// in-memory work, which is exactly what belongs under a shard lock.
+func SortUnderLock(s *shard, ks []string) {
+	s.mu.Lock()
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	s.mu.Unlock()
+}
+
+// BranchUnlock releases the lock on one branch only; the fall-through
+// path is still locked, so the branch-local release must not leak out.
+func BranchUnlock(s *shard, path string) {
+	s.mu.Lock()
+	if len(s.nodes) == 0 {
+		s.mu.Unlock()
+		_ = os.WriteFile(path, nil, 0o644) // legal: this branch released the lock
+		return
+	}
+	s.nodes["x"]++
+	s.mu.Unlock()
+}
+
+// Streaming is the annotated-exception idiom (one shard at a time,
+// bounded memory).
+func Streaming(s *shard, w io.Writer) {
+	s.mu.Lock()
+	//rushlint:allow locksafe — fixture: streaming write holds one shard at a time by design
+	fmt.Fprintf(w, "x")
+	s.mu.Unlock()
+}

@@ -64,6 +64,8 @@ func bucketIndex(d time.Duration) int {
 }
 
 // Observe records one duration. Allocation-free.
+//
+//rushlint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	// Shard by a mixed hash of the sample itself: durations differ in
 	// their low bits (nanosecond clock), and the multiply spreads that

@@ -1,0 +1,84 @@
+package rushprobe
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// readMakeRecipe returns the recipe lines of the named Makefile target.
+func readMakeRecipe(t *testing.T, target string) []string {
+	t.Helper()
+	data, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	var recipe []string
+	in := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, target+":") {
+			in = true
+			continue
+		}
+		if in {
+			if !strings.HasPrefix(line, "\t") {
+				break
+			}
+			recipe = append(recipe, strings.TrimSpace(line))
+		}
+	}
+	if recipe == nil {
+		t.Fatalf("Makefile has no %q target", target)
+	}
+	return recipe
+}
+
+// TestRaceTargetIsDerived pins `make race` to the derived ./... package
+// set. The target once carried a hand-maintained package list, which
+// meant a new package with tests was only race-checked if someone
+// remembered to append it; with ./... every package with tests is
+// covered by construction, so the assertion here is that the list never
+// comes back.
+func TestRaceTargetIsDerived(t *testing.T) {
+	recipe := strings.Join(readMakeRecipe(t, "race"), "\n")
+	if !strings.Contains(recipe, "-race") {
+		t.Fatalf("race recipe lost the -race flag:\n%s", recipe)
+	}
+	if !strings.Contains(recipe, "./...") {
+		t.Errorf("race recipe must use the derived ./... package set:\n%s", recipe)
+	}
+	// A hand-curated list reads like "./internal/des/ ./internal/sim/";
+	// any explicit package path means the derivation regressed.
+	if handList := regexp.MustCompile(`\./(internal|cmd)/\w`); handList.MatchString(recipe) {
+		t.Errorf("race recipe enumerates packages by hand; use ./... so new packages are covered automatically:\n%s", recipe)
+	}
+}
+
+// TestLintTargetRunsRushlint pins `make lint` to the repo's own
+// analyzer suite over every package.
+func TestLintTargetRunsRushlint(t *testing.T) {
+	recipe := strings.Join(readMakeRecipe(t, "lint"), "\n")
+	if !strings.Contains(recipe, "./cmd/rushlint") || !strings.Contains(recipe, "./...") {
+		t.Errorf("lint recipe must run ./cmd/rushlint over ./...:\n%s", recipe)
+	}
+}
+
+// TestAllTargetIncludesLint keeps the default `make all` gate honest:
+// fmt, vet, and lint must all run before build and test.
+func TestAllTargetIncludesLint(t *testing.T) {
+	data, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := regexp.MustCompile(`(?m)^all:(.*)$`).FindStringSubmatch(string(data))
+	if all == nil {
+		t.Fatal("Makefile has no all target")
+	}
+	for _, dep := range []string{"fmt", "vet", "lint", "build", "test"} {
+		if !regexp.MustCompile(`\b` + dep + `\b`).MatchString(all[1]) {
+			t.Errorf("all target missing %q: all:%s", dep, all[1])
+		}
+	}
+}
