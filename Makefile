@@ -57,7 +57,7 @@ fuzz-smoke:
 # frame boundary and mid-frame — the binary snapshot log's durability
 # contract.
 crash-suite:
-	$(GO) test -run 'Truncate|Torn|Corrupt|Crash|ShortWrite|Recovery' -v ./internal/snaplog/ ./internal/fleet/ ./cmd/rushprobed/
+	$(GO) test -run 'Truncate|Truncation|Torn|Corrupt|Crash|ShortWrite|Recovery|Handoff' -v ./internal/snaplog/ ./internal/fleet/ ./internal/shardroute/ ./cmd/rushprobed/
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

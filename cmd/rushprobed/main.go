@@ -52,6 +52,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -427,6 +428,10 @@ func newServer(f *rushprobe.Fleet, snapshotPath string) *server {
 	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
 	s.mux.HandleFunc("/v1/strategy/", s.handleStrategy)
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("/v1/nodes", s.handleNodes)
+	s.mux.HandleFunc("/v1/migrate/export", s.handleMigrateExport)
+	s.mux.HandleFunc("/v1/migrate/import", s.handleMigrateImport)
+	s.mux.HandleFunc("/v1/migrate/remove", s.handleMigrateRemove)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -563,9 +568,21 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, observeResponse{Received: len(req.Observations), Accepted: accepted})
 }
 
-// nodeParam extracts the node ID from a /v1/<verb>/{node} path.
-func nodeParam(path, prefix string) string {
-	return strings.TrimPrefix(path, prefix)
+// nodeParam extracts the node ID from a /v1/<verb>/{node} path. It
+// works on the escaped path and unescapes the remainder itself:
+// clients percent-escape IDs (HTTPBackend does, so slashes and dots
+// survive routing), and reading r.URL.Path would hand back an ID the
+// mux already decoded — correct for most IDs, but unable to tell a
+// malformed escape from a literal %, and blind to IDs the cleaner
+// would have rewritten. A remainder that does not unescape is an
+// error the handler turns into a 400.
+func nodeParam(r *http.Request, prefix string) (string, error) {
+	raw := strings.TrimPrefix(r.URL.EscapedPath(), prefix)
+	node, err := url.PathUnescape(raw)
+	if err != nil {
+		return "", fmt.Errorf("malformed node ID %q: %v", raw, err)
+	}
+	return node, nil
 }
 
 // scheduleResponse wraps a schedule with the node it was served for.
@@ -579,7 +596,11 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	node := nodeParam(r.URL.Path, "/v1/schedule/")
+	node, err := nodeParam(r, "/v1/schedule/")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if node == "" {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
@@ -648,7 +669,11 @@ func (s *server) handleStrategy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	node := nodeParam(r.URL.Path, "/v1/strategy/")
+	node, err := nodeParam(r, "/v1/strategy/")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if node == "" {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
@@ -684,7 +709,11 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	node := nodeParam(r.URL.Path, "/v1/profile/")
+	node, err := nodeParam(r, "/v1/profile/")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if node == "" {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
@@ -695,6 +724,138 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, prof)
+}
+
+// nodesResponse is the GET /v1/nodes body: every tracked node ID,
+// sorted — the enumeration a router rebalance diffs against the new
+// ring.
+type nodesResponse struct {
+	Nodes []string `json:"nodes"`
+}
+
+func (s *server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ids := s.fleet.NodeIDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, nodesResponse{Nodes: ids})
+}
+
+// migrateExportRequest is the POST /v1/migrate/export body.
+type migrateExportRequest struct {
+	Nodes []string `json:"nodes"`
+}
+
+// handleMigrateExport streams the named nodes as self-contained binary
+// snapshot frames (the SnapshotBinary format) for a shard handoff. The
+// exporting fleet is untouched: it stays authoritative until the
+// migration commits and the router removes the nodes.
+func (s *server) handleMigrateExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req migrateExportRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSchedulesBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if len(req.Nodes) == 0 {
+		writeError(w, http.StatusBadRequest, "no nodes requested")
+		return
+	}
+	data, err := s.fleet.ExportNodes(req.Nodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "export: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// maxMigrateBody bounds an import payload (256 MiB ≈ a million-node
+// shard's full frame set; a rebalance moves a fraction of that).
+const maxMigrateBody = 256 << 20
+
+// migrateImportResponse is the POST /v1/migrate/import reply.
+type migrateImportResponse struct {
+	Imported int `json:"imported"`
+}
+
+// handleMigrateImport admits binary frames produced by an export. The
+// payload is validated whole before anything lands, and with -snaplog
+// configured the imported nodes are appended to the log before the 200
+// goes out — the router treats this reply as the durable half of its
+// commit point, so acknowledging an unpersisted import would let a
+// crash lose nodes both sides think were handed off.
+func (s *server) handleMigrateImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxMigrateBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read: %v", err)
+		return
+	}
+	n, err := s.fleet.ImportFrames(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "import: %v", err)
+		return
+	}
+	if s.snaplog != nil {
+		if err := s.snaplog.appendDelta(); err != nil {
+			writeError(w, http.StatusInternalServerError, "imported %d nodes but could not persist them: %v", n, err)
+			return
+		}
+	}
+	s.logger.Info("migrate import", "nodes", n, "request", telemetry.RequestID(r.Context()))
+	writeJSON(w, http.StatusOK, migrateImportResponse{Imported: n})
+}
+
+// migrateRemoveRequest is the POST /v1/migrate/remove body.
+type migrateRemoveRequest struct {
+	Nodes []string `json:"nodes"`
+}
+
+// migrateRemoveResponse is the POST /v1/migrate/remove reply.
+type migrateRemoveResponse struct {
+	Removed int `json:"removed"`
+}
+
+// handleMigrateRemove deletes the named nodes — the post-commit
+// cleanup of a handoff. Unknown IDs are skipped, so re-running a
+// partially cleaned migration converges.
+func (s *server) handleMigrateRemove(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req migrateRemoveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSchedulesBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	n := s.fleet.RemoveNodes(req.Nodes)
+	if n > 0 && s.snaplog != nil {
+		// The log has no tombstone frame and restores last-record-wins,
+		// so a restart would resurrect removed nodes from their old
+		// frames. A compaction rewrites the log from current state. It
+		// is deliberately non-fatal: the remove already succeeded in
+		// memory and the nodes are unreachable through the ring, so a
+		// failed rewrite degrades to stale-but-harmless log entries the
+		// next compaction clears.
+		if err := s.snaplog.compact(); err != nil {
+			s.logger.Warn("migrate remove: snapshot log compaction failed", "nodes", n, "err", err)
+		}
+	}
+	s.logger.Info("migrate remove", "nodes", n, "request", telemetry.RequestID(r.Context()))
+	writeJSON(w, http.StatusOK, migrateRemoveResponse{Removed: n})
 }
 
 // healthResponse is the GET /v1/healthz body.

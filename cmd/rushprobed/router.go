@@ -47,6 +47,7 @@ func newRouterServer(rt *shardroute.Router, logger *slog.Logger) *routerServer {
 	s.mux.HandleFunc("/v1/profile/", s.handleProfile)
 	s.mux.HandleFunc("/v1/strategy/", s.handleStrategy)
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("/v1/ring", s.handleRing)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -97,7 +98,11 @@ func (s *routerServer) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	node := nodeParam(r.URL.Path, "/v1/schedule/")
+	node, err := nodeParam(r, "/v1/schedule/")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if node == "" {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
@@ -136,7 +141,11 @@ func (s *routerServer) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	node := nodeParam(r.URL.Path, "/v1/profile/")
+	node, err := nodeParam(r, "/v1/profile/")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if node == "" {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
@@ -154,7 +163,11 @@ func (s *routerServer) handleStrategy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	node := nodeParam(r.URL.Path, "/v1/strategy/")
+	node, err := nodeParam(r, "/v1/strategy/")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if node == "" {
 		writeError(w, http.StatusBadRequest, "missing node ID")
 		return
@@ -182,11 +195,15 @@ func (s *routerServer) handleStrategies(w http.ResponseWriter, r *http.Request) 
 
 // routerHealthResponse is router-mode healthz: merged fleet counters
 // plus the shard roster, so operators see both the whole and the
-// parts.
+// parts. ShardsReporting < ShardsTotal marks the merged counters as a
+// partial sum over the shards that answered — never fleet truth when
+// any shard is down.
 type routerHealthResponse struct {
-	Status        string   `json:"status"`
-	UptimeSeconds float64  `json:"uptimeSeconds"`
-	Shards        []string `json:"shards"`
+	Status          string   `json:"status"`
+	UptimeSeconds   float64  `json:"uptimeSeconds"`
+	Shards          []string `json:"shards"`
+	ShardsTotal     int      `json:"shardsTotal"`
+	ShardsReporting int      `json:"shardsReporting"`
 	rushprobe.FleetStats
 	PerShard map[string]rushprobe.FleetStats `json:"perShard"`
 }
@@ -196,6 +213,7 @@ func (s *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	shards := s.rt.Shards()
 	per, perErr := s.rt.ShardStats(r.Context())
 	var total rushprobe.FleetStats
 	for _, st := range per {
@@ -213,12 +231,76 @@ func (s *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "degraded: " + perErr.Error()
 	}
 	writeJSON(w, http.StatusOK, routerHealthResponse{
-		Status:        status,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Shards:        s.rt.Shards(),
-		FleetStats:    total,
-		PerShard:      per,
+		Status:          status,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Shards:          shards,
+		ShardsTotal:     len(shards),
+		ShardsReporting: len(per),
+		FleetStats:      total,
+		PerShard:        per,
 	})
+}
+
+// ringResponse is the GET /v1/ring body (and the membership echo of a
+// successful POST, inside rebalanceResponse).
+type ringResponse struct {
+	Shards []string `json:"shards"`
+}
+
+// ringChangeRequest is the POST /v1/ring body: shard base URLs to
+// attach and/or detach. Entries are normalized exactly like the -route
+// flag, so the same spelling addresses the same shard.
+type ringChangeRequest struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// handleRing reads (GET) or changes (POST) the ring membership. A POST
+// runs a full Rebalance: learned state drains from old owners to new
+// before the ring flips, so every already-learned node keeps its
+// schedule across the change (see shardroute.Router.Rebalance).
+func (s *routerServer) handleRing(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, ringResponse{Shards: s.rt.Shards()})
+	case http.MethodPost:
+		var req ringChangeRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+		add := make(map[string]shardroute.Backend, len(req.Add))
+		for _, raw := range req.Add {
+			u := normalizeShardURL(raw)
+			if u == "" {
+				writeError(w, http.StatusBadRequest, "empty shard URL in add list")
+				return
+			}
+			add[u] = &shardroute.HTTPBackend{BaseURL: u}
+		}
+		remove := make([]string, 0, len(req.Remove))
+		for _, raw := range req.Remove {
+			u := normalizeShardURL(raw)
+			if u == "" {
+				writeError(w, http.StatusBadRequest, "empty shard URL in remove list")
+				return
+			}
+			remove = append(remove, u)
+		}
+		report, err := s.rt.Rebalance(r.Context(), add, remove)
+		if err != nil {
+			s.logger.Warn("rebalance failed", "err", err, "request", telemetry.RequestID(r.Context()))
+			writeError(w, http.StatusBadGateway, "rebalance: %v", err)
+			return
+		}
+		s.logger.Info("rebalance committed",
+			"shards", len(report.Shards), "moved", report.Moved,
+			"cleanupErrors", len(report.CleanupErrors),
+			"request", telemetry.RequestID(r.Context()))
+		writeJSON(w, http.StatusOK, report)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
 }
 
 type routerSnapshotResponse struct {
@@ -247,20 +329,31 @@ func (s *routerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.registry.WriteText(w)
 }
 
+// normalizeShardURL canonicalizes one shard base URL the way the
+// -route flag always has: trim whitespace, default the scheme to
+// http://, strip trailing slashes. The -route flag and POST /v1/ring
+// share it, so the same spelling always names the same ring member.
+func normalizeShardURL(raw string) string {
+	u := strings.TrimSpace(raw)
+	if u == "" {
+		return ""
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}
+
 // buildRouter wires the -route shard list (comma-separated base URLs)
 // into a consistent-hash router over HTTP backends. Shard names are
 // the URLs themselves, so the ring is a pure function of the flag.
 func buildRouter(shardList string) (*shardroute.Router, error) {
 	rt := shardroute.NewRouter(0, nil)
 	for _, raw := range strings.Split(shardList, ",") {
-		u := strings.TrimSpace(raw)
+		u := normalizeShardURL(raw)
 		if u == "" {
 			continue
 		}
-		if !strings.Contains(u, "://") {
-			u = "http://" + u
-		}
-		u = strings.TrimRight(u, "/")
 		if err := rt.AddShard(u, &shardroute.HTTPBackend{BaseURL: u}); err != nil {
 			return nil, err
 		}

@@ -210,6 +210,31 @@ func (f *Fleet) SnapshotBinaryDelta(w io.Writer) (int, error) { return f.inner.A
 // delta — the signal a persistence loop uses to skip idle intervals.
 func (f *Fleet) DirtyNodes() int { return f.inner.DirtyNodes() }
 
+// NodeIDs returns every tracked node ID, sorted. O(nodes), one shard
+// lock at a time — call it for migrations and sweeps, not per request.
+func (f *Fleet) NodeIDs() []string { return f.inner.NodeIDs() }
+
+// ExportNodes serializes the named nodes as a self-contained binary
+// snapshot slice (meta frame + one frame per node, the SnapshotBinary
+// format) importable by ImportFrames on another fleet with the same
+// configuration. Unknown IDs are an error; the exporting fleet's state
+// and dirty bits are untouched, so it stays authoritative until the
+// nodes are removed.
+func (f *Fleet) ExportNodes(ids []string) ([]byte, error) { return f.inner.ExportNodes(ids) }
+
+// ImportFrames admits nodes exported by ExportNodes into this fleet,
+// returning how many distinct nodes were imported. The payload is
+// validated in full before anything is admitted: a torn, corrupt, or
+// configuration-mismatched import is rejected whole, leaving current
+// state untouched. Existing nodes with the same IDs are overwritten,
+// so re-running a crashed handoff converges.
+func (f *Fleet) ImportFrames(data []byte) (int, error) { return f.inner.ImportFrames(data) }
+
+// RemoveNodes deletes the named nodes (skipping unknown IDs) and
+// returns how many existed — the post-commit cleanup step of a shard
+// handoff.
+func (f *Fleet) RemoveNodes(ids []string) int { return f.inner.RemoveNodes(ids) }
+
 // RestoreBinary replaces the fleet's learned state with a binary
 // snapshot log written by SnapshotBinary (plus any SnapshotBinaryDelta
 // appends). A torn tail is dropped and reported in SnapshotRecovery;

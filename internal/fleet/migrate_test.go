@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rushprobe/internal/snaplog"
+)
+
+// populateMigrationFleet feeds n learned nodes into a fresh fleet and
+// returns their IDs.
+func populateMigrationFleet(t *testing.T, f *Fleet, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("mig-node-%03d", i)
+		if got := f.Observe(syntheticDays(ids[i], 4, 3+i%4, 1.5+float64(i%3))); got == 0 {
+			t.Fatalf("no observations accepted for %s", ids[i])
+		}
+	}
+	return ids
+}
+
+// scheduleBytes serializes each node's served schedule — the
+// byte-identity comparator a handoff must preserve.
+func scheduleBytes(t *testing.T, f *Fleet, ids []string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(ids))
+	for _, id := range ids {
+		s, err := f.Schedule(id)
+		if err != nil {
+			t.Fatalf("schedule %s: %v", id, err)
+		}
+		out[id] = mustJSONBytes(t, s)
+	}
+	return out
+}
+
+func mustJSONBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestExportImportPreservesSchedules(t *testing.T) {
+	src := newTestFleet(t, Config{DriftDetector: "cusum"})
+	ids := populateMigrationFleet(t, src, 12)
+	want := scheduleBytes(t, src, ids)
+
+	moved := ids[:5]
+	data, err := src.ExportNodes(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Export must not disturb the source: it is still authoritative.
+	for id, b := range scheduleBytes(t, src, ids) {
+		if !bytes.Equal(b, want[id]) {
+			t.Fatalf("export changed source schedule for %s", id)
+		}
+	}
+
+	dst := newTestFleet(t, Config{DriftDetector: "cusum"})
+	n, err := dst.ImportFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(moved) {
+		t.Fatalf("imported %d nodes, want %d", n, len(moved))
+	}
+	for _, id := range moved {
+		s, err := dst.Schedule(id)
+		if err != nil {
+			t.Fatalf("schedule %s on importer: %v", id, err)
+		}
+		if got := mustJSONBytes(t, s); !bytes.Equal(got, want[id]) {
+			t.Fatalf("imported schedule for %s differs from the source's", id)
+		}
+	}
+	if got := dst.NodeIDs(); len(got) != len(moved) {
+		t.Fatalf("importer tracks %d nodes, want %d", len(got), len(moved))
+	}
+	// Imported nodes must be dirty, so the importer's next delta append
+	// persists them.
+	if got := dst.DirtyNodes(); got != len(moved) {
+		t.Fatalf("importer has %d dirty nodes, want %d", got, len(moved))
+	}
+}
+
+func TestExportNodesUnknownIDFails(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	populateMigrationFleet(t, f, 3)
+	if _, err := f.ExportNodes([]string{"mig-node-000", "ghost"}); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("export of an unknown node should fail naming it, got %v", err)
+	}
+}
+
+func TestExportNodesCollapsesDuplicates(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	ids := populateMigrationFleet(t, f, 2)
+	data, err := f.ExportNodes([]string{ids[0], ids[0], ids[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestFleet(t, Config{})
+	n, err := dst.ImportFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("imported %d nodes from a duplicated export list, want 2", n)
+	}
+}
+
+func TestImportFramesRejectsTruncationWhole(t *testing.T) {
+	src := newTestFleet(t, Config{})
+	ids := populateMigrationFleet(t, src, 6)
+	data, err := src.ExportNodes(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newTestFleet(t, Config{})
+	populateMigrationFleet(t, dst, 2)
+	before := dst.Stats()
+
+	// Cut mid-frame: a wire-loss payload must reject whole, with the
+	// destination untouched — the abort path a failed handoff needs.
+	n, err := dst.ImportFrames(data[:len(data)-7])
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated import accepted (%d nodes): %v", n, err)
+	}
+	if after := dst.Stats(); after != before {
+		t.Fatalf("failed import changed destination stats: %+v -> %+v", before, after)
+	}
+}
+
+func TestImportFramesRequiresMetaFirst(t *testing.T) {
+	var buf bytes.Buffer
+	sw := snaplog.NewWriter(&buf)
+	if err := sw.WriteFrame(snaplog.FrameNode, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f := newTestFleet(t, Config{})
+	if _, err := f.ImportFrames(buf.Bytes()); err == nil || !strings.Contains(err.Error(), "meta") {
+		t.Fatalf("node-first payload accepted: %v", err)
+	}
+	if _, err := f.ImportFrames(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestImportFramesRejectsMismatchedConfig(t *testing.T) {
+	src := newTestFleet(t, Config{})
+	ids := populateMigrationFleet(t, src, 3)
+	data, err := src.ExportNodes(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestFleet(t, Config{RushSlots: 2})
+	before := dst.Stats()
+	if _, err := dst.ImportFrames(data); err == nil {
+		t.Fatal("import into a differently configured fleet accepted")
+	}
+	if after := dst.Stats(); after != before {
+		t.Fatalf("rejected import changed stats: %+v -> %+v", before, after)
+	}
+}
+
+func TestImportFramesOverwriteConverges(t *testing.T) {
+	src := newTestFleet(t, Config{})
+	ids := populateMigrationFleet(t, src, 5)
+	data, err := src.ExportNodes(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestFleet(t, Config{})
+	if _, err := dst.ImportFrames(data); err != nil {
+		t.Fatal(err)
+	}
+	once := dst.Stats()
+	// A crashed handoff re-runs its import; the overwrite must leave
+	// node and observation counters exactly where one import did.
+	if _, err := dst.ImportFrames(data); err != nil {
+		t.Fatal(err)
+	}
+	twice := dst.Stats()
+	if once.Nodes != twice.Nodes || once.Observations != twice.Observations || once.Stale != twice.Stale || once.DriftEvents != twice.DriftEvents {
+		t.Fatalf("re-import drifted counters: %+v -> %+v", once, twice)
+	}
+}
+
+func TestRemoveNodesIsIdempotentAndReturnsCounters(t *testing.T) {
+	f := newTestFleet(t, Config{})
+	ids := populateMigrationFleet(t, f, 6)
+	before := f.Stats()
+	if before.Observations == 0 {
+		t.Fatal("setup produced no observations")
+	}
+
+	gone := ids[:4]
+	if n := f.RemoveNodes(gone); n != 4 {
+		t.Fatalf("removed %d nodes, want 4", n)
+	}
+	mid := f.Stats()
+	if mid.Nodes != before.Nodes-4 {
+		t.Fatalf("node count %d after removal, want %d", mid.Nodes, before.Nodes-4)
+	}
+	if mid.Observations >= before.Observations {
+		t.Fatalf("observation counter did not give back removed nodes' tallies: %d -> %d", before.Observations, mid.Observations)
+	}
+	// Removed nodes read as fresh: schedules fall back to bootstrap, and
+	// reading them creates no state.
+	if _, err := f.Schedule(gone[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Nodes; got != mid.Nodes {
+		t.Fatalf("scheduling a removed node created state: %d nodes", got)
+	}
+	// Second run: unknown IDs skip, nothing changes.
+	if n := f.RemoveNodes(gone); n != 0 {
+		t.Fatalf("re-removal removed %d nodes, want 0", n)
+	}
+	if got := f.Stats(); got != mid {
+		t.Fatalf("idempotent re-removal changed stats: %+v -> %+v", mid, got)
+	}
+}
+
+// TestMigrationUnderConcurrentTraffic drives Observe/Schedule against
+// nodes outside the migrating set while an export→import→remove cycle
+// runs — the fleet-level half of the handoff's "safe under concurrent
+// use" contract (run with -race).
+func TestMigrationUnderConcurrentTraffic(t *testing.T) {
+	src := newTestFleet(t, Config{})
+	ids := populateMigrationFleet(t, src, 10)
+	moved, kept := ids[:4], ids[4:]
+
+	stop := make(chan struct{})
+	donc := make(chan struct{})
+	go func() {
+		defer close(donc)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := kept[i%len(kept)]
+			src.Observe([]Observation{{Node: id, Time: float64(400000 + i*60), Length: 1.5, Uploaded: -1}})
+			if _, err := src.Schedule(id); err != nil {
+				t.Errorf("schedule %s during migration: %v", id, err)
+				return
+			}
+			i++
+		}
+	}()
+
+	dst := newTestFleet(t, Config{})
+	for round := 0; round < 5; round++ {
+		data, err := src.ExportNodes(moved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.ImportFrames(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.RemoveNodes(moved)
+	close(stop)
+	<-donc
+
+	for _, id := range moved {
+		if _, err := dst.Schedule(id); err != nil {
+			t.Fatalf("schedule %s on importer: %v", id, err)
+		}
+	}
+}

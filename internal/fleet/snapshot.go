@@ -109,39 +109,11 @@ func (f *Fleet) Restore(s *Snapshot) error {
 	}
 	restored := make(map[int]map[string]*profile, len(f.shards))
 	var observed, stale, driftTotal int64
-	for _, n := range s.Nodes {
-		if n.ID == "" {
-			return fmt.Errorf("fleet: snapshot contains a node with an empty ID")
-		}
-		if got := len(n.Learner.Slots); got != len(f.cfg.Base.Slots) {
-			return fmt.Errorf("fleet: node %s learner has %d slots, base scenario has %d", n.ID, got, len(f.cfg.Base.Slots))
-		}
-		if n.Learner.RushSlots != f.cfg.RushSlots {
-			// RushSlots is fleet configuration, not base-scenario state,
-			// so the fingerprint guard cannot catch this; a mismatch would
-			// make restored nodes rank a different number of rush slots
-			// than newly admitted ones.
-			return fmt.Errorf("fleet: node %s learner ranks %d rush slots, fleet is configured for %d", n.ID, n.Learner.RushSlots, f.cfg.RushSlots)
-		}
-		length, err := learn.RestoreContactLength(n.Length)
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		p, err := f.buildProfile(n)
 		if err != nil {
-			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
-		}
-		upload, err := learn.RestoreUploadAmount(n.Upload)
-		if err != nil {
-			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
-		}
-		learner, err := learn.RestoreRushHourLearner(n.Learner)
-		if err != nil {
-			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
-		}
-		override := ""
-		if n.Strategy != "" {
-			strat, err := strategy.Lookup(n.Strategy)
-			if err != nil {
-				return fmt.Errorf("fleet: node %s: %w", n.ID, err)
-			}
-			override = strat.Name()
+			return err
 		}
 		si := f.shardIndex(n.ID)
 		if restored[si] == nil {
@@ -149,27 +121,6 @@ func (f *Fleet) Restore(s *Snapshot) error {
 		}
 		if _, dup := restored[si][n.ID]; dup {
 			return fmt.Errorf("fleet: snapshot contains node %s twice", n.ID)
-		}
-		p := &profile{
-			id:         n.ID,
-			strategy:   override,
-			length:     length,
-			upload:     upload,
-			learner:    learner,
-			epoch:      n.Epoch,
-			observed:   n.Observed,
-			stale:      n.Stale,
-			mon:        f.newMonitor(),
-			firstDrift: -1,
-			lastDrift:  -1,
-			// Restored nodes start dirty: the source may be a foreign
-			// snapshot (e.g. a JSON import) that no binary log contains
-			// yet. ReadBinarySnapshot clears the flags afterwards, since
-			// there the log itself is the source.
-			dirty: true,
-		}
-		if err := f.restoreDrift(p, n.Drift); err != nil {
-			return fmt.Errorf("fleet: node %s: %w", n.ID, err)
 		}
 		restored[si][n.ID] = p
 		observed += n.Observed
@@ -190,6 +141,69 @@ func (f *Fleet) Restore(s *Snapshot) error {
 	f.stale.Store(stale)
 	f.driftEvents.Store(driftTotal)
 	return nil
+}
+
+// buildProfile validates one serialized node against this fleet's
+// configuration and hydrates it into a live profile — the shared
+// admission gate of Restore (whole-fleet replace) and ImportFrames
+// (live shard handoff). Any shape mismatch or undecodable estimator
+// state is an error; nothing is admitted partially.
+func (f *Fleet) buildProfile(n *NodeState) (*profile, error) {
+	if n.ID == "" {
+		return nil, fmt.Errorf("fleet: snapshot contains a node with an empty ID")
+	}
+	if got := len(n.Learner.Slots); got != len(f.cfg.Base.Slots) {
+		return nil, fmt.Errorf("fleet: node %s learner has %d slots, base scenario has %d", n.ID, got, len(f.cfg.Base.Slots))
+	}
+	if n.Learner.RushSlots != f.cfg.RushSlots {
+		// RushSlots is fleet configuration, not base-scenario state,
+		// so the fingerprint guard cannot catch this; a mismatch would
+		// make restored nodes rank a different number of rush slots
+		// than newly admitted ones.
+		return nil, fmt.Errorf("fleet: node %s learner ranks %d rush slots, fleet is configured for %d", n.ID, n.Learner.RushSlots, f.cfg.RushSlots)
+	}
+	length, err := learn.RestoreContactLength(n.Length)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %s: %w", n.ID, err)
+	}
+	upload, err := learn.RestoreUploadAmount(n.Upload)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %s: %w", n.ID, err)
+	}
+	learner, err := learn.RestoreRushHourLearner(n.Learner)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %s: %w", n.ID, err)
+	}
+	override := ""
+	if n.Strategy != "" {
+		strat, err := strategy.Lookup(n.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %s: %w", n.ID, err)
+		}
+		override = strat.Name()
+	}
+	p := &profile{
+		id:         n.ID,
+		strategy:   override,
+		length:     length,
+		upload:     upload,
+		learner:    learner,
+		epoch:      n.Epoch,
+		observed:   n.Observed,
+		stale:      n.Stale,
+		mon:        f.newMonitor(),
+		firstDrift: -1,
+		lastDrift:  -1,
+		// Restored nodes start dirty: the source may be a foreign
+		// snapshot (e.g. a JSON import) that no binary log contains
+		// yet. ReadBinarySnapshot clears the flags afterwards, since
+		// there the log itself is the source.
+		dirty: true,
+	}
+	if err := f.restoreDrift(p, n.Drift); err != nil {
+		return nil, fmt.Errorf("fleet: node %s: %w", n.ID, err)
+	}
+	return p, nil
 }
 
 // driftState exports a profile's drift-detection state, or nil when

@@ -32,12 +32,15 @@ var persistencePackages = PathIn(
 
 // persistenceFiles restricts floatexact within the learn and fleet
 // packages to their persistence files; snaplog is persistence wholesale.
+// migrate.go is a persistence file: export/import reuse the binary
+// snapshot frames, so a lossy float formatted there would corrupt a
+// shard handoff exactly like a lossy snapshot write.
 func persistenceFiles(importPath, base string) bool {
 	switch importPath {
 	case Module + "/internal/learn":
 		return base == "record.go"
 	case Module + "/internal/fleet":
-		return base == "binsnap.go" || base == "snapshot.go"
+		return base == "binsnap.go" || base == "snapshot.go" || base == "migrate.go"
 	}
 	return true
 }

@@ -35,6 +35,24 @@ type Backend interface {
 	// PersistSnapshot asks the shard to persist its learned state to
 	// its own durable home (each shard owns its snapshot).
 	PersistSnapshot(ctx context.Context) error
+	// ListNodes returns every node ID the shard tracks, sorted — the
+	// enumeration a rebalance diffs against the new ring.
+	ListNodes(ctx context.Context) ([]string, error)
+	// ExportNodes streams the named nodes' learned state as
+	// self-contained binary snapshot frames (see fleet.ExportNodes).
+	// The shard stays authoritative: nothing is deleted or marked
+	// clean by an export.
+	ExportNodes(ctx context.Context, ids []string) ([]byte, error)
+	// ImportFrames admits exported frames, all-or-nothing, persisting
+	// them durably before returning where the shard has persistence —
+	// once the ownership flip commits, the new owner must survive a
+	// crash without losing the handed-off state. Returns how many
+	// nodes were imported.
+	ImportFrames(ctx context.Context, data []byte) (int, error)
+	// RemoveNodes deletes the named nodes (unknown IDs skipped),
+	// returning how many existed — the post-commit cleanup of a
+	// handoff.
+	RemoveNodes(ctx context.Context, ids []string) (int, error)
 }
 
 // LocalBackend adapts an in-process *fleet.Fleet to the Backend
@@ -79,6 +97,34 @@ func (b *LocalBackend) PersistSnapshot(ctx context.Context) error {
 		return fmt.Errorf("shardroute: shard %q has no snapshot persistence configured", b.Name)
 	}
 	return b.Persist(ctx)
+}
+
+func (b *LocalBackend) ListNodes(context.Context) ([]string, error) {
+	return b.Fleet.NodeIDs(), nil
+}
+
+func (b *LocalBackend) ExportNodes(_ context.Context, ids []string) ([]byte, error) {
+	return b.Fleet.ExportNodes(ids)
+}
+
+func (b *LocalBackend) ImportFrames(ctx context.Context, data []byte) (int, error) {
+	n, err := b.Fleet.ImportFrames(data)
+	if err != nil {
+		return 0, err
+	}
+	// Honor the durability half of the contract when this shard has a
+	// persistence hook: the imported nodes are dirty, so a persist here
+	// lands them before the router flips ownership.
+	if b.Persist != nil {
+		if err := b.Persist(ctx); err != nil {
+			return 0, fmt.Errorf("shardroute: shard %q imported %d nodes but could not persist them: %w", b.Name, n, err)
+		}
+	}
+	return n, nil
+}
+
+func (b *LocalBackend) RemoveNodes(_ context.Context, ids []string) (int, error) {
+	return b.Fleet.RemoveNodes(ids), nil
 }
 
 // HTTPBackend adapts a remote rushprobed daemon to the Backend
@@ -132,18 +178,38 @@ func (b *HTTPBackend) call(ctx context.Context, method, path string, in, out any
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var eb errorBody
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("shardroute: %s %s: HTTP %d: %s", method, path, resp.StatusCode, eb.Error)
-		}
-		return fmt.Errorf("shardroute: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return httpError(method, path, resp)
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// httpError turns a non-2xx daemon response into an error carrying the
+// daemon's JSON error string when one decodes.
+func httpError(method, path string, resp *http.Response) error {
+	var eb errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("shardroute: %s %s: HTTP %d: %s", method, path, resp.StatusCode, eb.Error)
+	}
+	return fmt.Errorf("shardroute: %s %s: HTTP %d", method, path, resp.StatusCode)
+}
+
+// escapeNode makes a node ID safe as a single path segment.
+// url.PathEscape leaves dots unescaped, so the IDs "." and ".." would
+// be path-cleaned into a different route (and a different identity) by
+// the daemon's mux; encoding their dots keeps every ID addressable.
+func escapeNode(node string) string {
+	switch node {
+	case ".":
+		return "%2E"
+	case "..":
+		return "%2E%2E"
+	}
+	return url.PathEscape(node)
 }
 
 type observeWire struct {
@@ -164,7 +230,7 @@ func (b *HTTPBackend) Observe(ctx context.Context, batch []fleet.Observation) (i
 
 func (b *HTTPBackend) Schedule(ctx context.Context, node string) (*fleet.Schedule, error) {
 	var out fleet.Schedule
-	if err := b.call(ctx, http.MethodGet, "/v1/schedule/"+url.PathEscape(node), nil, &out); err != nil {
+	if err := b.call(ctx, http.MethodGet, "/v1/schedule/"+escapeNode(node), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -199,7 +265,7 @@ type strategyReply struct {
 
 func (b *HTTPBackend) SetStrategy(ctx context.Context, node, name string) (string, error) {
 	var out strategyReply
-	if err := b.call(ctx, http.MethodPost, "/v1/strategy/"+url.PathEscape(node), strategyWire{Strategy: name}, &out); err != nil {
+	if err := b.call(ctx, http.MethodPost, "/v1/strategy/"+escapeNode(node), strategyWire{Strategy: name}, &out); err != nil {
 		return "", err
 	}
 	return out.Strategy, nil
@@ -207,7 +273,7 @@ func (b *HTTPBackend) SetStrategy(ctx context.Context, node, name string) (strin
 
 func (b *HTTPBackend) Profile(ctx context.Context, node string) (fleet.NodeProfile, error) {
 	var out fleet.NodeProfile
-	err := b.call(ctx, http.MethodGet, "/v1/profile/"+url.PathEscape(node), nil, &out)
+	err := b.call(ctx, http.MethodGet, "/v1/profile/"+escapeNode(node), nil, &out)
 	return out, err
 }
 
@@ -221,4 +287,89 @@ func (b *HTTPBackend) Stats(ctx context.Context) (fleet.Stats, error) {
 
 func (b *HTTPBackend) PersistSnapshot(ctx context.Context) error {
 	return b.call(ctx, http.MethodPost, "/v1/snapshot", nil, nil)
+}
+
+// nodesReply is the GET /v1/nodes body.
+type nodesReply struct {
+	Nodes []string `json:"nodes"`
+}
+
+func (b *HTTPBackend) ListNodes(ctx context.Context) ([]string, error) {
+	var out nodesReply
+	if err := b.call(ctx, http.MethodGet, "/v1/nodes", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Nodes, nil
+}
+
+// migrateWire is the JSON body of the node-addressed migration calls.
+type migrateWire struct {
+	Nodes []string `json:"nodes"`
+}
+
+// ExportNodes posts the ID list and returns the daemon's binary frame
+// stream verbatim — the one call in the API whose response is bytes,
+// not JSON.
+func (b *HTTPBackend) ExportNodes(ctx context.Context, ids []string) ([]byte, error) {
+	const path = "/v1/migrate/export"
+	payload, err := json.Marshal(migrateWire{Nodes: ids})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return nil, httpError(http.MethodPost, path, resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+type importReply struct {
+	Imported int `json:"imported"`
+}
+
+// ImportFrames posts the raw frame stream; the daemon validates it in
+// full, admits it, and persists it to its snapshot log before
+// answering, so a 2xx here means the handoff is durable on the new
+// owner.
+func (b *HTTPBackend) ImportFrames(ctx context.Context, data []byte) (int, error) {
+	const path = "/v1/migrate/import"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return 0, httpError(http.MethodPost, path, resp)
+	}
+	var out importReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Imported, nil
+}
+
+type removeReply struct {
+	Removed int `json:"removed"`
+}
+
+func (b *HTTPBackend) RemoveNodes(ctx context.Context, ids []string) (int, error) {
+	var out removeReply
+	if err := b.call(ctx, http.MethodPost, "/v1/migrate/remove", migrateWire{Nodes: ids}, &out); err != nil {
+		return 0, err
+	}
+	return out.Removed, nil
 }

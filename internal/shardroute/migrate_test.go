@@ -1,0 +1,464 @@
+package shardroute
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"rushprobe/internal/fleet"
+)
+
+// --- ring: Replace and Diff -------------------------------------------
+
+func TestRingReplaceMatchesIncrementalBuild(t *testing.T) {
+	members := []string{"alpha", "bravo", "charlie"}
+	incremental := NewRing(0)
+	for _, s := range members {
+		if err := incremental.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replaced := NewRing(0)
+	if err := replaced.Add("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replaced.Replace(members); err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(5000)
+	want := ownerMap(t, incremental, keys)
+	for k, owner := range ownerMap(t, replaced, keys) {
+		if owner != want[k] {
+			t.Fatalf("key %s routes to %s after Replace, %s on an incrementally built ring", k, owner, want[k])
+		}
+	}
+
+	for _, bad := range [][]string{nil, {}, {""}, {"a", "a"}} {
+		if err := replaced.Replace(bad); err == nil {
+			t.Fatalf("Replace(%q) accepted", bad)
+		}
+	}
+	// A failed Replace must leave the ring as it was.
+	if got := replaced.Shards(); len(got) != 3 || got[0] != "alpha" {
+		t.Fatalf("failed Replace disturbed membership: %v", got)
+	}
+}
+
+func TestRingDiffFindsExactlyTheDisplacedKeys(t *testing.T) {
+	r := NewRing(0)
+	for _, s := range []string{"alpha", "bravo"} {
+		if err := r.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := ringKeys(4000)
+	before := ownerMap(t, r, keys)
+
+	newMembers := []string{"alpha", "bravo", "charlie"}
+	moves, err := r.Diff(newMembers, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("adding a shard displaced nothing")
+	}
+	next := NewRing(0)
+	for _, s := range newMembers {
+		if err := next.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := ownerMap(t, next, keys)
+
+	displaced := make(map[string]bool)
+	for _, mv := range moves {
+		if mv.To != "charlie" {
+			t.Fatalf("single-shard add moved %s -> %s; only the new shard should gain keys", mv.From, mv.To)
+		}
+		for i, k := range mv.Keys {
+			if i > 0 && mv.Keys[i-1] >= k {
+				t.Fatalf("move %s->%s keys not sorted", mv.From, mv.To)
+			}
+			if before[k] != mv.From || after[k] != mv.To {
+				t.Fatalf("key %s reported as %s->%s, ring says %s->%s", k, mv.From, mv.To, before[k], after[k])
+			}
+			displaced[k] = true
+		}
+	}
+	for _, k := range keys {
+		if before[k] != after[k] && !displaced[k] {
+			t.Fatalf("key %s changed owner but no move reported it", k)
+		}
+	}
+
+	if _, err := r.Diff(nil, keys); err == nil {
+		t.Fatal("diff against empty membership accepted")
+	}
+	if _, err := NewRing(0).Diff(newMembers, keys); err == nil {
+		t.Fatal("diff on an empty ring accepted")
+	}
+}
+
+// TestRingConcurrentChurnAndOwner hammers Owner reads against
+// Add/Remove/Replace churn — including the remove-then-read window —
+// and relies on -race to catch unsynchronized access. One anchor shard
+// never leaves, so every read must find an owner.
+func TestRingConcurrentChurnAndOwner(t *testing.T) {
+	r := NewRing(16)
+	if err := r.Add("anchor"); err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				owner, ok := r.Owner(keys[(g*17+i)%len(keys)])
+				if !ok || owner == "" {
+					t.Errorf("Owner came back empty on a ring that always holds the anchor")
+					return
+				}
+				r.Len()
+				r.Shards()
+			}
+		}(g)
+	}
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("churn-%d", i%7)
+		switch i % 3 {
+		case 0:
+			_ = r.Add(name)
+		case 1:
+			_ = r.Remove(name)
+		case 2:
+			_ = r.Replace([]string{"anchor", name})
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// --- router: reply validation and stats partiality --------------------
+
+// flakyBackend wraps a LocalBackend and misbehaves on demand: a short
+// ScheduleBatch reply, a failing Stats, or a failing ImportFrames.
+type flakyBackend struct {
+	*LocalBackend
+	shortBatch bool
+	failStats  bool
+	failImport bool
+}
+
+func (b *flakyBackend) ScheduleBatch(ctx context.Context, nodes []string) ([]*fleet.Schedule, error) {
+	plans, err := b.LocalBackend.ScheduleBatch(ctx, nodes)
+	if err == nil && b.shortBatch && len(plans) > 0 {
+		plans = plans[:len(plans)-1]
+	}
+	return plans, err
+}
+
+func (b *flakyBackend) Stats(ctx context.Context) (fleet.Stats, error) {
+	if b.failStats {
+		return fleet.Stats{}, errors.New("stats endpoint down")
+	}
+	return b.LocalBackend.Stats(ctx)
+}
+
+func (b *flakyBackend) ImportFrames(ctx context.Context, data []byte) (int, error) {
+	if b.failImport {
+		return 0, errors.New("disk full")
+	}
+	return b.LocalBackend.ImportFrames(ctx, data)
+}
+
+// TestRouterScheduleBatchRejectsShortShardReply is the regression for
+// the router trusting a backend's reply cardinality: a shard answering
+// with fewer plans than nodes must fail the batch loudly instead of
+// leaving nil holes (or misassigned plans) in the gathered result.
+func TestRouterScheduleBatchRejectsShortShardReply(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRouter(0, nil)
+	f := newShardFleet(t)
+	lame := &flakyBackend{LocalBackend: &LocalBackend{Fleet: f, Name: "lame"}, shortBatch: true}
+	if err := rt.AddShard("lame", lame); err != nil {
+		t.Fatal(err)
+	}
+	nodes := []string{"a", "b", "c"}
+	_, err := rt.ScheduleBatch(ctx, nodes)
+	if err == nil {
+		t.Fatal("short shard reply accepted")
+	}
+	if !strings.Contains(err.Error(), "lame") || !strings.Contains(err.Error(), "2 plans for 3 nodes") {
+		t.Fatalf("error should name the shard and both counts, got %v", err)
+	}
+}
+
+// TestRouterStatsAllOrNothing pins satellite semantics for merged
+// stats: with one shard down, Stats returns zero totals plus the
+// error — never a partial sum presented as fleet truth — while
+// ShardStats still reports the healthy shards for per-shard views.
+func TestRouterStatsAllOrNothing(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRouter(0, nil)
+	healthy := newShardFleet(t)
+	if err := rt.AddShard("ok", &LocalBackend{Fleet: healthy, Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddShard("sick", &flakyBackend{LocalBackend: &LocalBackend{Fleet: newShardFleet(t), Name: "sick"}, failStats: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, batch := routedTraffic(60, 3)
+	if _, err := rt.Observe(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+
+	total, err := rt.Stats(ctx)
+	if err == nil {
+		t.Fatal("Stats with a down shard succeeded")
+	}
+	if total != (fleet.Stats{}) {
+		t.Fatalf("Stats returned partial totals alongside the error: %+v", total)
+	}
+	per, perErr := rt.ShardStats(ctx)
+	if perErr == nil {
+		t.Fatal("ShardStats with a down shard reported no error")
+	}
+	if _, ok := per["ok"]; !ok || len(per) != 1 {
+		t.Fatalf("ShardStats should report exactly the healthy shard, got %v", per)
+	}
+}
+
+// --- router: rebalance ------------------------------------------------
+
+func routedScheduleBytes(t *testing.T, rt *Router, ids []string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(ids))
+	for _, id := range ids {
+		s, err := rt.Schedule(context.Background(), id)
+		if err != nil {
+			t.Fatalf("schedule %s: %v", id, err)
+		}
+		out[id] = mustJSON(t, s)
+	}
+	return out
+}
+
+func TestRebalanceGrowPreservesSchedules(t *testing.T) {
+	ctx := context.Background()
+	rt, fleets := newLocalRouter(t, 2)
+	ids, batch := routedTraffic(120, 11)
+	if _, err := rt.Observe(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	want := routedScheduleBytes(t, rt, ids)
+	nodesBefore := 0
+	for _, f := range fleets {
+		nodesBefore += f.Stats().Nodes
+	}
+
+	third := newShardFleet(t)
+	report, err := rt.Rebalance(ctx, map[string]Backend{"shard-2": &LocalBackend{Fleet: third, Name: "shard-2"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Moved == 0 {
+		t.Fatal("growing the ring displaced nothing")
+	}
+	if len(report.CleanupErrors) != 0 {
+		t.Fatalf("cleanup errors on healthy shards: %v", report.CleanupErrors)
+	}
+	if got := rt.Shards(); len(got) != 3 {
+		t.Fatalf("Shards() = %v after grow", got)
+	}
+	// The acceptance bar: every pre-existing node answers byte-identically.
+	for id, b := range routedScheduleBytes(t, rt, ids) {
+		if !bytes.Equal(b, want[id]) {
+			t.Fatalf("schedule for %s changed across rebalance", id)
+		}
+	}
+	// State moved, not copied: the fleet-wide node count is unchanged
+	// and the new shard holds exactly the moved profiles.
+	nodesAfter := third.Stats().Nodes
+	for _, f := range fleets {
+		nodesAfter += f.Stats().Nodes
+	}
+	if nodesAfter != nodesBefore {
+		t.Fatalf("fleet-wide node count changed %d -> %d across rebalance", nodesBefore, nodesAfter)
+	}
+	if third.Stats().Nodes != report.Moved {
+		t.Fatalf("new shard holds %d nodes, report moved %d", third.Stats().Nodes, report.Moved)
+	}
+}
+
+func TestRebalanceDrainRemovesShard(t *testing.T) {
+	ctx := context.Background()
+	rt, fleets := newLocalRouter(t, 3)
+	ids, batch := routedTraffic(90, 13)
+	if _, err := rt.Observe(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	want := routedScheduleBytes(t, rt, ids)
+	drained := fleets["shard-2"]
+	hadNodes := drained.Stats().Nodes
+	if hadNodes == 0 {
+		t.Fatal("shard-2 owned nothing; test needs displaced keys")
+	}
+
+	report, err := rt.Rebalance(ctx, nil, []string{"shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Moved != hadNodes {
+		t.Fatalf("drain moved %d nodes, shard held %d", report.Moved, hadNodes)
+	}
+	if got := rt.Shards(); len(got) != 2 {
+		t.Fatalf("Shards() = %v after drain", got)
+	}
+	if drained.Stats().Nodes != 0 {
+		t.Fatalf("drained shard still holds %d nodes after cleanup", drained.Stats().Nodes)
+	}
+	for id, b := range routedScheduleBytes(t, rt, ids) {
+		if !bytes.Equal(b, want[id]) {
+			t.Fatalf("schedule for %s changed across drain", id)
+		}
+	}
+}
+
+// TestRebalanceFailedHandoffAborts pins the commit point: when the new
+// owner cannot admit the handoff, the ring must not flip, the old
+// owner keeps serving identical schedules, and a later re-run (with
+// the importer healthy again) converges.
+func TestRebalanceFailedHandoffAborts(t *testing.T) {
+	ctx := context.Background()
+	rt, _ := newLocalRouter(t, 2)
+	ids, batch := routedTraffic(80, 17)
+	if _, err := rt.Observe(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	want := routedScheduleBytes(t, rt, ids)
+
+	sick := &flakyBackend{LocalBackend: &LocalBackend{Fleet: newShardFleet(t), Name: "shard-2"}, failImport: true}
+	_, err := rt.Rebalance(ctx, map[string]Backend{"shard-2": sick}, nil)
+	if err == nil || !strings.Contains(err.Error(), "still authoritative") {
+		t.Fatalf("failed import should abort naming the authoritative shard, got %v", err)
+	}
+	if got := rt.Shards(); len(got) != 2 {
+		t.Fatalf("failed rebalance changed membership: %v", got)
+	}
+	for id, b := range routedScheduleBytes(t, rt, ids) {
+		if !bytes.Equal(b, want[id]) {
+			t.Fatalf("schedule for %s changed after an aborted rebalance", id)
+		}
+	}
+
+	// Importer recovers; the re-run converges.
+	sick.failImport = false
+	report, err := rt.Rebalance(ctx, map[string]Backend{"shard-2": sick}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Moved == 0 {
+		t.Fatal("re-run displaced nothing")
+	}
+	for id, b := range routedScheduleBytes(t, rt, ids) {
+		if !bytes.Equal(b, want[id]) {
+			t.Fatalf("schedule for %s changed after the converging re-run", id)
+		}
+	}
+}
+
+func TestRebalanceValidatesMembership(t *testing.T) {
+	ctx := context.Background()
+	rt, _ := newLocalRouter(t, 2)
+	b := &LocalBackend{Fleet: newShardFleet(t), Name: "x"}
+	cases := []struct {
+		name   string
+		add    map[string]Backend
+		remove []string
+	}{
+		{"no change", nil, nil},
+		{"nil backend", map[string]Backend{"x": nil}, nil},
+		{"empty name", map[string]Backend{"": b}, nil},
+		{"already attached", map[string]Backend{"shard-0": b}, nil},
+		{"not attached", nil, []string{"ghost"}},
+		{"add and remove", map[string]Backend{"x": b}, []string{"x"}},
+		{"empties ring", nil, []string{"shard-0", "shard-1"}},
+	}
+	for _, tc := range cases {
+		if _, err := rt.Rebalance(ctx, tc.add, tc.remove); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if got := rt.Shards(); len(got) != 2 {
+		t.Fatalf("rejected rebalances changed membership: %v", got)
+	}
+}
+
+// TestRebalanceUnderConcurrentTraffic runs live Observe/Schedule load
+// through the router while the ring grows. Every request must succeed
+// — displaced-key requests park at the gate and release after the flip
+// — and pre-existing schedules stay byte-identical (run with -race).
+func TestRebalanceUnderConcurrentTraffic(t *testing.T) {
+	ctx := context.Background()
+	rt, _ := newLocalRouter(t, 2)
+	ids, batch := routedTraffic(100, 19)
+	if _, err := rt.Observe(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	want := routedScheduleBytes(t, rt, ids)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Writes go to fresh nodes only (observing a pre-existing
+				// node would legitimately change its schedule); reads hit
+				// pre-existing — possibly mid-handoff — nodes too.
+				live := fmt.Sprintf("live-%d-%d", g, i)
+				if _, err := rt.Observe(ctx, []fleet.Observation{{Node: live, Time: float64(i%86400) + 1, Length: 1.5, Uploaded: -1}}); err != nil {
+					t.Errorf("observe %s during rebalance: %v", live, err)
+					return
+				}
+				if _, err := rt.Schedule(ctx, ids[(g*31+i)%len(ids)]); err != nil {
+					t.Errorf("schedule during rebalance: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	report, err := rt.Rebalance(ctx, map[string]Backend{"shard-2": &LocalBackend{Fleet: newShardFleet(t), Name: "shard-2"}}, nil)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Moved == 0 {
+		t.Fatal("grow displaced nothing")
+	}
+	for id, b := range routedScheduleBytes(t, rt, ids) {
+		if !bytes.Equal(b, want[id]) {
+			t.Fatalf("schedule for %s changed across a live rebalance", id)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package shardroute
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -119,6 +120,95 @@ func (r *Ring) Remove(shard string) error {
 	}
 	r.points = kept
 	return nil
+}
+
+// Replace swaps the ring's entire membership in one atomic step — the
+// commit point of a rebalance, where every displaced key flips to its
+// new owner at once. The replacement points are built and sorted
+// before the lock is taken, so concurrent Owner reads see either the
+// old ring or the new one, never an intermediate membership.
+func (r *Ring) Replace(members []string) error {
+	if len(members) == 0 {
+		return errors.New("shardroute: replace with empty membership")
+	}
+	shards := make(map[string]bool, len(members))
+	points := make([]point, 0, len(members)*r.replicas)
+	for _, shard := range members {
+		if shard == "" {
+			return errors.New("shardroute: empty shard name")
+		}
+		if shards[shard] {
+			return fmt.Errorf("shardroute: shard %q listed twice", shard)
+		}
+		shards[shard] = true
+		for i := 0; i < r.replicas; i++ {
+			points = append(points, point{hash: ringHash(shard, "#", strconv.Itoa(i)), shard: shard})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		return points[a].shard < points[b].shard
+	})
+	r.mu.Lock()
+	r.shards = shards
+	r.points = points
+	r.mu.Unlock()
+	return nil
+}
+
+// Move is one displaced slice of a membership change: the keys whose
+// owner would change from From to To.
+type Move struct {
+	From string
+	To   string
+	Keys []string
+}
+
+// Diff reports which of the given keys change owner if the ring's
+// current membership were replaced by newMembers, grouped per
+// (from, to) pair. Moves and the keys within each move come back
+// sorted, so a rebalance (and its logs and tests) is deterministic.
+// Keys whose owner is unchanged are omitted; consistent hashing keeps
+// that the large majority for a single-shard change.
+func (r *Ring) Diff(newMembers, keys []string) ([]Move, error) {
+	// replicas is immutable after NewRing, so the throwaway next ring
+	// hashes virtual nodes identically to this one.
+	next := NewRing(r.replicas)
+	for _, shard := range newMembers {
+		if err := next.Add(shard); err != nil {
+			return nil, err
+		}
+	}
+	byPair := make(map[[2]string][]string)
+	for _, key := range keys {
+		oldOwner, ok := r.Owner(key)
+		if !ok {
+			return nil, errors.New("shardroute: diff on an empty ring")
+		}
+		newOwner, ok := next.Owner(key)
+		if !ok {
+			return nil, errors.New("shardroute: diff against empty membership")
+		}
+		if oldOwner == newOwner {
+			continue
+		}
+		pair := [2]string{oldOwner, newOwner}
+		byPair[pair] = append(byPair[pair], key)
+	}
+	moves := make([]Move, 0, len(byPair))
+	for pair, ks := range byPair {
+		sort.Strings(ks)
+		moves = append(moves, Move{From: pair[0], To: pair[1], Keys: ks})
+	}
+	sort.Slice(moves, func(a, b int) bool {
+		if moves[a].From != moves[b].From {
+			return moves[a].From < moves[b].From
+		}
+		return moves[a].To < moves[b].To
+	})
+	return moves, nil
 }
 
 // Owner returns the shard owning the key, or false for an empty ring.

@@ -32,6 +32,37 @@ type Router struct {
 
 	mu     sync.RWMutex
 	shards map[string]*shardState
+
+	// rebalanceMu serializes membership changes (Rebalance, AddShard,
+	// RemoveShard) against each other; request traffic never takes it.
+	rebalanceMu sync.Mutex
+	// migrating is the handoff gate: non-nil while a rebalance is
+	// copying state, carrying the set of displaced keys. Requests for a
+	// gated key park on done until the handoff commits or aborts; every
+	// other request sees one nil atomic load.
+	migrating atomic.Pointer[migration]
+	// drain is read-held for the life of every key-addressed request
+	// (admit → backend reply). A rebalance write-locks it once, right
+	// after raising the gate, so every request that resolved an owner
+	// before the gate existed has fully landed before state is copied.
+	drain sync.RWMutex
+}
+
+// migration is one in-flight handoff: the displaced keys and the
+// channel closed when the ring flips (or the handoff aborts).
+type migration struct {
+	keys map[string]struct{}
+	done chan struct{}
+}
+
+// covers reports whether any of the nodes is mid-handoff.
+func (m *migration) covers(nodes []string) bool {
+	for _, n := range nodes {
+		if _, ok := m.keys[n]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // NewRouter builds an empty router. replicas <= 0 selects
@@ -44,11 +75,16 @@ func NewRouter(replicas int, tel *telemetry.Telemetry) *Router {
 	}
 }
 
-// AddShard attaches a named backend and puts it on the ring.
+// AddShard attaches a named backend and puts it on the ring. Keys that
+// fall to the new shard are NOT migrated — their learned state stays
+// on the old owner and they relearn; use Rebalance for a handoff that
+// preserves it.
 func (r *Router) AddShard(name string, b Backend) error {
 	if b == nil {
 		return fmt.Errorf("shardroute: nil backend for shard %q", name)
 	}
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.ring.Add(name); err != nil {
@@ -60,9 +96,11 @@ func (r *Router) AddShard(name string, b Backend) error {
 
 // RemoveShard detaches a shard. Keys it owned fall to their ring
 // successors; the shard's learned state stays in its own snapshot and
-// is NOT migrated — the displaced nodes relearn on their new shard (or
-// are re-imported there from the old shard's snapshot out of band).
+// is NOT migrated — the displaced nodes relearn on their new shard.
+// Use Rebalance to drain a shard with its state handed off.
 func (r *Router) RemoveShard(name string) error {
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.ring.Remove(name); err != nil {
@@ -70,6 +108,34 @@ func (r *Router) RemoveShard(name string) error {
 	}
 	delete(r.shards, name)
 	return nil
+}
+
+// admit is the entry gate of every key-addressed request. It parks
+// while any of the nodes is mid-handoff (so reads cannot race the copy
+// and writes cannot land on a half-exported owner), then read-locks
+// drain for the request's duration; the caller must r.drain.RUnlock()
+// once its backend call finishes. The gate is re-checked after the
+// read lock lands because a handoff may raise it concurrently: a
+// request that slips past the first check either wins the race (and is
+// then drained out before any state copies) or sees the gate here and
+// parks like everyone else.
+func (r *Router) admit(ctx context.Context, nodes []string) error {
+	for {
+		if m := r.migrating.Load(); m != nil && m.covers(nodes) {
+			select {
+			case <-m.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		r.drain.RLock()
+		m := r.migrating.Load()
+		if m == nil || !m.covers(nodes) {
+			return nil
+		}
+		r.drain.RUnlock()
+	}
 }
 
 // Owner reports which shard a node routes to.
@@ -117,6 +183,14 @@ func (r *Router) Observe(ctx context.Context, batch []fleet.Observation) (int, e
 	if len(batch) == 0 {
 		return 0, nil
 	}
+	keys := make([]string, len(batch))
+	for i := range batch {
+		keys[i] = batch[i].Node
+	}
+	if err := r.admit(ctx, keys); err != nil {
+		return 0, err
+	}
+	defer r.drain.RUnlock()
 	parts := make(map[string][]fleet.Observation)
 	for _, obs := range batch {
 		name, ok := r.ring.Owner(obs.Node)
@@ -160,6 +234,10 @@ func (r *Router) Observe(ctx context.Context, batch []fleet.Observation) (int, e
 
 // Schedule routes one schedule request to the node's owner.
 func (r *Router) Schedule(ctx context.Context, node string) (*fleet.Schedule, error) {
+	if err := r.admit(ctx, []string{node}); err != nil {
+		return nil, err
+	}
+	defer r.drain.RUnlock()
 	_, st, err := r.shardFor(node)
 	if err != nil {
 		return nil, err
@@ -176,6 +254,10 @@ func (r *Router) ScheduleBatch(ctx context.Context, nodes []string) ([]*fleet.Sc
 	if len(nodes) == 0 {
 		return nil, nil
 	}
+	if err := r.admit(ctx, nodes); err != nil {
+		return nil, err
+	}
+	defer r.drain.RUnlock()
 	// Partition, remembering each node's position in the input.
 	type part struct {
 		nodes []string
@@ -222,6 +304,16 @@ func (r *Router) ScheduleBatch(ctx context.Context, nodes []string) ([]*fleet.Sc
 				mu.Unlock()
 				return
 			}
+			// The HTTP backend validates reply cardinality, but a local
+			// (or custom) backend is under no such obligation — and a
+			// short reply scattered unchecked would leave silent nil
+			// holes in the gathered batch.
+			if len(plans) != len(p.nodes) {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("shardroute: shard %q returned %d plans for %d nodes", name, len(plans), len(p.nodes)))
+				mu.Unlock()
+				return
+			}
 			// Each slot in out is written by exactly one goroutine, so
 			// the scatter needs no lock here.
 			for i, plan := range plans {
@@ -238,6 +330,10 @@ func (r *Router) ScheduleBatch(ctx context.Context, nodes []string) ([]*fleet.Sc
 
 // SetStrategy routes a strategy override to the node's owner.
 func (r *Router) SetStrategy(ctx context.Context, node, name string) (string, error) {
+	if err := r.admit(ctx, []string{node}); err != nil {
+		return "", err
+	}
+	defer r.drain.RUnlock()
 	_, st, err := r.shardFor(node)
 	if err != nil {
 		return "", err
@@ -247,6 +343,10 @@ func (r *Router) SetStrategy(ctx context.Context, node, name string) (string, er
 
 // Profile routes a profile read to the node's owner.
 func (r *Router) Profile(ctx context.Context, node string) (fleet.NodeProfile, error) {
+	if err := r.admit(ctx, []string{node}); err != nil {
+		return fleet.NodeProfile{}, err
+	}
+	defer r.drain.RUnlock()
 	_, st, err := r.shardFor(node)
 	if err != nil {
 		return fleet.NodeProfile{}, err
@@ -257,9 +357,15 @@ func (r *Router) Profile(ctx context.Context, node string) (fleet.NodeProfile, e
 // Stats gathers every shard's counters concurrently and merges them
 // into one fleet-wide view. CachedPlans is summed — shards solve
 // independently, so equal fingerprints may be cached more than once
-// across the fleet.
+// across the fleet. All-or-nothing: when any shard fails, the totals
+// come back zero alongside the error, never a partial sum masquerading
+// as fleet truth — callers wanting the surviving shards' numbers use
+// ShardStats, where partiality is explicit.
 func (r *Router) Stats(ctx context.Context) (fleet.Stats, error) {
 	per, err := r.ShardStats(ctx)
+	if err != nil {
+		return fleet.Stats{}, err
+	}
 	var total fleet.Stats
 	for _, s := range per {
 		total.Nodes += s.Nodes
@@ -271,7 +377,7 @@ func (r *Router) Stats(ctx context.Context) (fleet.Stats, error) {
 		total.CachedPlans += s.CachedPlans
 		total.DriftEvents += s.DriftEvents
 	}
-	return total, err
+	return total, nil
 }
 
 // ShardStats gathers per-shard counters concurrently. Shards that fail
@@ -351,4 +457,196 @@ func (r *Router) Collect(e *telemetry.Exposition) {
 		"Observations routed to each shard since router start.", "shard", obs)
 	e.LabeledGauge("rushprobe_router_routed_schedules",
 		"Schedule requests routed to each shard since router start.", "shard", sched)
+}
+
+// MoveReport is one (from, to) slice of a completed rebalance.
+type MoveReport struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Nodes int    `json:"nodes"`
+}
+
+// RebalanceReport summarizes a committed rebalance.
+type RebalanceReport struct {
+	// Shards is the membership after the change.
+	Shards []string `json:"shards"`
+	// Moved is the total number of nodes handed off.
+	Moved int `json:"moved"`
+	// Moves breaks Moved down per (from, to) pair.
+	Moves []MoveReport `json:"moves,omitempty"`
+	// CleanupErrors lists post-commit removal failures. The flip has
+	// already happened, so these leave unreachable stale copies on old
+	// owners (re-running Rebalance converges them away); they do not
+	// fail the rebalance.
+	CleanupErrors []string `json:"cleanupErrors,omitempty"`
+}
+
+// Rebalance changes the ring membership — attaching every shard in
+// add, detaching every name in remove — with a drain/handoff migration
+// so displaced nodes keep their learned state. The steps:
+//
+//  1. Enumerate every current shard's nodes and diff them against the
+//     new membership → the displaced keys per (from, to) pair.
+//  2. Raise the gate: requests touching a displaced key park; all
+//     other traffic flows. Cycle the drain write lock so requests that
+//     resolved an owner before the gate are fully landed.
+//  3. Copy: export each displaced slice from its old owner and import
+//     it into its new owner (which persists it before acknowledging).
+//     The ring is untouched, so the OLD owner is still authoritative;
+//     any failure aborts here with nothing changed.
+//  4. Commit: atomically replace the ring membership and the backend
+//     table, then release the gate — parked requests re-resolve
+//     against the new ring.
+//  5. Cleanup: remove the handed-off nodes from their old owners.
+//     Post-commit failures are reported, not fatal.
+//
+// The ownership flip in step 4 is the commit point: a crash or error
+// any time before it leaves the old topology fully serving (a re-run
+// converges — imports overwrite), and after it the new owners hold
+// byte-identical learned state, so every pre-existing node's schedule
+// survives the move.
+func (r *Router) Rebalance(ctx context.Context, add map[string]Backend, remove []string) (*RebalanceReport, error) {
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
+
+	if len(add) == 0 && len(remove) == 0 {
+		return nil, errors.New("shardroute: rebalance with no membership change")
+	}
+	current := r.snapshotShards()
+	newSet := make(map[string]bool, len(current)+len(add))
+	for name := range current {
+		newSet[name] = true
+	}
+	for name, b := range add {
+		if name == "" {
+			return nil, errors.New("shardroute: empty shard name")
+		}
+		if b == nil {
+			return nil, fmt.Errorf("shardroute: nil backend for shard %q", name)
+		}
+		if newSet[name] {
+			return nil, fmt.Errorf("shardroute: shard %q already attached", name)
+		}
+		newSet[name] = true
+	}
+	for _, name := range remove {
+		if _, attached := current[name]; !attached {
+			return nil, fmt.Errorf("shardroute: shard %q is not attached", name)
+		}
+		if _, adding := add[name]; adding {
+			return nil, fmt.Errorf("shardroute: shard %q both added and removed", name)
+		}
+		delete(newSet, name)
+	}
+	if len(newSet) == 0 {
+		return nil, errors.New("shardroute: rebalance would empty the ring")
+	}
+	newMembers := make([]string, 0, len(newSet))
+	for name := range newSet {
+		newMembers = append(newMembers, name)
+	}
+	sort.Strings(newMembers)
+
+	// Step 1: enumerate and diff. Keys listed here and displaced move
+	// with their state; a node first observed after this point on a
+	// displaced arc relearns (seconds of history at most) — or is swept
+	// up by the next rebalance run.
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var keys []string
+	for _, name := range names {
+		ids, err := current[name].backend.ListNodes(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("shardroute: list nodes on shard %q: %w", name, err)
+		}
+		keys = append(keys, ids...)
+	}
+	moves, err := r.ring.Diff(newMembers, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: gate the displaced keys, then drain pre-gate requests.
+	hot := make(map[string]struct{})
+	for _, mv := range moves {
+		for _, k := range mv.Keys {
+			hot[k] = struct{}{}
+		}
+	}
+	done := make(chan struct{})
+	r.migrating.Store(&migration{keys: hot, done: done})
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			r.migrating.Store(nil)
+			close(done)
+		}
+	}
+	defer release()
+	r.drain.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: a
+	// write-lock cycle is a barrier that waits out every read-held
+	// request admitted before the gate went up.
+	r.drain.Unlock()
+
+	// Step 3: copy state old owner → new owner. New shards are not on
+	// the ring yet, so their backends come from add.
+	target := func(name string) Backend {
+		if b, ok := add[name]; ok {
+			return b
+		}
+		if st := current[name]; st != nil {
+			return st.backend
+		}
+		return nil
+	}
+	for _, mv := range moves {
+		if len(mv.Keys) == 0 {
+			continue
+		}
+		from, to := current[mv.From], target(mv.To)
+		if from == nil || to == nil {
+			return nil, fmt.Errorf("shardroute: rebalance lost track of shard pair %q → %q", mv.From, mv.To)
+		}
+		data, err := from.backend.ExportNodes(ctx, mv.Keys)
+		if err != nil {
+			return nil, fmt.Errorf("shardroute: export %d nodes from shard %q: %w", len(mv.Keys), mv.From, err)
+		}
+		if _, err := to.ImportFrames(ctx, data); err != nil {
+			return nil, fmt.Errorf("shardroute: import %d nodes into shard %q: %w (rebalance aborted, shard %q is still authoritative)", len(mv.Keys), mv.To, err, mv.From)
+		}
+	}
+
+	// Step 4: commit. One locked swap of ring + backend table, then the
+	// gate comes down and parked requests route to the new owners.
+	r.mu.Lock()
+	if err := r.ring.Replace(newMembers); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	for name, b := range add {
+		r.shards[name] = &shardState{backend: b}
+	}
+	for _, name := range remove {
+		delete(r.shards, name)
+	}
+	r.mu.Unlock()
+	release()
+
+	// Step 5: cleanup. The handles in current still reach detached
+	// shards, so drained shards get cleaned too.
+	report := &RebalanceReport{Shards: newMembers}
+	for _, mv := range moves {
+		report.Moved += len(mv.Keys)
+		report.Moves = append(report.Moves, MoveReport{From: mv.From, To: mv.To, Nodes: len(mv.Keys)})
+		if _, err := current[mv.From].backend.RemoveNodes(ctx, mv.Keys); err != nil {
+			report.CleanupErrors = append(report.CleanupErrors,
+				fmt.Sprintf("remove %d nodes from shard %q: %v", len(mv.Keys), mv.From, err))
+		}
+	}
+	return report, nil
 }
